@@ -1,0 +1,247 @@
+package bioopera
+
+// The benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (scaled so a full -bench=. run finishes in minutes), plus
+// micro-benchmarks of the substrates. Experiment benchmarks report their
+// headline numbers as custom metrics so `go test -bench` output doubles as
+// a results table.
+
+import (
+	"testing"
+	"time"
+
+	"bioopera/internal/cluster"
+	"bioopera/internal/core"
+	"bioopera/internal/darwin"
+	"bioopera/internal/experiments"
+	"bioopera/internal/ocr"
+	"bioopera/internal/store"
+	"bioopera/internal/wal"
+)
+
+// BenchmarkFig4GranularitySweep regenerates Fig. 4: CPU and WALL time vs.
+// the number of TEUs for an all-vs-all on the 5-CPU ik-sun cluster.
+func BenchmarkFig4GranularitySweep(b *testing.B) {
+	var res *experiments.Fig4Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.Fig4(experiments.Fig4Options{
+			N: 250, MeanLen: 300,
+			TEUs: []int{1, 2, 5, 10, 20, 50, 125, 250},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.OptimalTEUs), "optimal-TEUs")
+	b.ReportMetric(res.Points[0].WALL.Seconds(), "wall-1TEU-s")
+	b.ReportMetric(res.Points[len(res.Points)-1].CPU.Seconds(), "cpu-max-TEUs-s")
+}
+
+// benchLifecycle is the scaled dataset used by the Table 1 / Fig. 5 /
+// Fig. 6 benchmarks.
+func benchLifecycle() experiments.LifecycleOptions {
+	return experiments.LifecycleOptions{N: 16000, MeanLen: 250, TEUs: 160, SampleEvery: 2 * time.Hour}
+}
+
+// BenchmarkTable1AllVsAll regenerates Table 1: both all-vs-all runs.
+func BenchmarkTable1AllVsAll(b *testing.B) {
+	var res *experiments.Table1Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.Table1(benchLifecycle())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Shared.Row.WALL.Hours()/24, "shared-wall-days")
+	b.ReportMetric(res.NonShared.Row.WALL.Hours()/24, "nonshared-wall-days")
+	b.ReportMetric(float64(res.Shared.Row.MaxCPUs), "shared-max-cpus")
+}
+
+// BenchmarkFig5SharedLifecycle regenerates the Fig. 5 trace.
+func BenchmarkFig5SharedLifecycle(b *testing.B) {
+	var res *experiments.LifecycleResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.SharedLifecycle(benchLifecycle())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.Row.Failures), "failures-survived")
+	b.ReportMetric(res.Row.WALL.Hours()/24, "wall-days")
+}
+
+// BenchmarkFig6NonSharedLifecycle regenerates the Fig. 6 trace.
+func BenchmarkFig6NonSharedLifecycle(b *testing.B) {
+	var res *experiments.LifecycleResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.NonSharedLifecycle(benchLifecycle())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.Row.MaxCPUs), "peak-cpus")
+	b.ReportMetric(res.Row.WALL.Hours()/24, "wall-days")
+}
+
+// BenchmarkAdaptiveMonitoring regenerates the §3.4 claim.
+func BenchmarkAdaptiveMonitoring(b *testing.B) {
+	var res *experiments.MonitoringResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.Monitoring(experiments.MonitoringOptions{Horizon: 3 * 24 * time.Hour})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*res.OverallDiscard, "discard-%")
+	b.ReportMetric(100*res.OverallErr, "err-%")
+}
+
+// BenchmarkMigrationStrategies regenerates the §5.4 migration ablation.
+func BenchmarkMigrationStrategies(b *testing.B) {
+	var res *experiments.MigrationResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.Migration(experiments.MigrationOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	sub := res.Cell("subset", "kill-and-restart").WALL
+	subNone := res.Cell("subset", "leave-in-place").WALL
+	b.ReportMetric(100*(float64(sub)/float64(subNone)-1), "subset-wall-delta-%")
+}
+
+// BenchmarkCheckpointGranularity regenerates the §3.3 ablation.
+func BenchmarkCheckpointGranularity(b *testing.B) {
+	var res *experiments.CheckpointResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.Checkpoint(experiments.CheckpointOptions{
+			N: 1200, MeanLen: 150, TEUs: []int{4, 32, 128},
+			CrashEvery: 90 * time.Second, Repair: 2 * time.Minute,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Points[0].WastedCPU.Seconds(), "wasted-coarse-s")
+	b.ReportMetric(res.Points[len(res.Points)-1].WastedCPU.Seconds(), "wasted-fine-s")
+}
+
+// --- substrate micro-benchmarks ---
+
+// BenchmarkSmithWaterman measures the core alignment kernel.
+func BenchmarkSmithWaterman(b *testing.B) {
+	ds := darwin.Generate(darwin.GenOptions{N: 2, MeanLen: 360, Seed: 1})
+	sm := darwin.ScoreAt(120)
+	sa, sb := ds.Entries[0], ds.Entries[1]
+	cells := int64(sa.Len()) * int64(sb.Len())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		darwin.ScoreOnly(sa, sb, sm)
+	}
+	b.SetBytes(cells) // "bytes" = DP cells per op
+}
+
+// BenchmarkRefinePAM measures the golden-section distance search.
+func BenchmarkRefinePAM(b *testing.B) {
+	ds := darwin.Generate(darwin.GenOptions{N: 2, MeanLen: 200, Seed: 2, FamilyFraction: 1, FamilyPAM: 60})
+	sa, sb := ds.Entries[0], ds.Entries[1]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		darwin.RefinePAM(sa, sb, 5, 250)
+	}
+}
+
+// BenchmarkWALAppend measures the write-ahead log (no fsync, as in the
+// experiments).
+func BenchmarkWALAppend(b *testing.B) {
+	l, err := wal.Open(b.TempDir(), wal.Options{NoSync: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	rec := make([]byte, 256)
+	b.SetBytes(int64(len(rec)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.Append(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStorePut measures a whole store mutation (WAL + in-memory
+// image).
+func BenchmarkStorePut(b *testing.B) {
+	d, err := store.OpenDisk(b.TempDir(), store.DiskOptions{NoSync: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer d.Close()
+	val := make([]byte, 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := d.Put(store.Instance, "inst/p0001", val); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOCRParse measures parsing the all-vs-all definition.
+func BenchmarkOCRParse(b *testing.B) {
+	b.SetBytes(int64(len(AllVsAllSource)))
+	for i := 0; i < b.N; i++ {
+		if _, err := ocr.ParseProcess(AllVsAllSource); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineThroughput measures navigated activities per second on
+// the simulated cluster (a 200-element parallel fan-out).
+func BenchmarkEngineThroughput(b *testing.B) {
+	const src = `
+PROCESS Fan {
+  INPUT xs;
+  OUTPUT done;
+  BLOCK F PARALLEL OVER xs AS x {
+    MAP results -> done;
+    OUTPUT r;
+    ACTIVITY A { CALL bench.id(x = x); OUT r; MAP r -> r; }
+  }
+}`
+	var xs []ocr.Value
+	for i := 0; i < 200; i++ {
+		xs = append(xs, ocr.Int(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lib := core.NewLibrary()
+		lib.RegisterFunc("bench.id", func(_ core.ProgramCtx, args map[string]ocr.Value) (map[string]ocr.Value, error) {
+			return map[string]ocr.Value{"r": args["x"]}, nil
+		})
+		rt, err := core.NewSimRuntime(core.SimConfig{Seed: 1, Spec: cluster.IkLinux(), Library: lib})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := rt.Engine.RegisterTemplateSource(src); err != nil {
+			b.Fatal(err)
+		}
+		id, err := rt.Engine.StartProcess("Fan", map[string]ocr.Value{"xs": ocr.List(xs...)}, core.StartOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rt.Run()
+		in, _ := rt.Engine.Instance(id)
+		if in.Status != core.InstanceDone {
+			b.Fatalf("instance %s", in.Status)
+		}
+	}
+	b.ReportMetric(float64(200*b.N)/b.Elapsed().Seconds(), "activities/s")
+}

@@ -1,0 +1,304 @@
+// Package bioopera is a from-scratch reproduction of BioOpera, the
+// process-support system for virtual laboratories described in
+// "Dependable Computing in Virtual Laboratories" (Alonso, Bausch,
+// Pautasso, Hallett, Kahn; ETH Zürich, 2000).
+//
+// BioOpera runs long-lived scientific computations expressed as
+// processes: annotated directed graphs whose nodes are tasks (activities,
+// blocks, subprocesses) and whose arcs carry control conditions and data.
+// Process definitions, execution state, and history live in a persistent
+// store, so computations that run for weeks survive node crashes, server
+// restarts, hardware upgrades, and manual suspension, resuming with
+// minimal intervention.
+//
+// # Defining processes
+//
+// Processes are written in OCR (Opera Canonical Representation) text and
+// parsed with ParseProcess, or built programmatically as *Process values:
+//
+//	proc, err := bioopera.ParseProcess(`
+//	PROCESS Greet {
+//	    INPUT who;
+//	    OUTPUT greeting;
+//	    ACTIVITY Hello {
+//	        CALL demo.hello(name = who);
+//	        OUT text;
+//	        MAP text -> greeting;
+//	    }
+//	}`)
+//
+// Activities bind to external programs registered in a Library. Parallel
+// tasks (BLOCK ... PARALLEL OVER list AS x) expand at runtime, one body
+// instance per list element. Subprocesses late-bind templates by name.
+//
+// # Running processes
+//
+// Two runtimes drive the same engine:
+//
+//   - NewLocalRuntime executes activities for real on a goroutine worker
+//     pool (the quickstart example);
+//   - NewSimRuntime executes on a deterministic discrete-event cluster
+//     simulation with failures, competing load, and virtual time — the
+//     configuration all experiments use.
+//
+// # The paper's workloads
+//
+// RegisterAllVsAll and AllVsAllSource provide the all-vs-all
+// sequence-comparison process of the paper's §4; RegisterTower and
+// TowerSource provide the "tower of information" pipeline of Fig. 1.
+// GenerateDataset produces deterministic synthetic protein datasets.
+package bioopera
+
+import (
+	"bioopera/internal/allvsall"
+	"bioopera/internal/cluster"
+	"bioopera/internal/core"
+	"bioopera/internal/darwin"
+	"bioopera/internal/ocr"
+	"bioopera/internal/store"
+	"bioopera/internal/tower"
+)
+
+// Core value and process types.
+type (
+	// Value is a dynamically typed whiteboard value.
+	Value = ocr.Value
+	// Kind is a Value's dynamic type.
+	Kind = ocr.Kind
+	// Expr is a parsed condition/binding expression.
+	Expr = ocr.Expr
+	// Process is an OCR process definition.
+	Process = ocr.Process
+	// Task is one node of a process graph.
+	Task = ocr.Task
+	// Connector is a control arc with an activation condition.
+	Connector = ocr.Connector
+)
+
+// Engine and runtime types.
+type (
+	// Engine is the BioOpera server: navigator, dispatcher, recovery.
+	Engine = core.Engine
+	// Instance is one process execution.
+	Instance = core.Instance
+	// InstanceStatus is an instance's lifecycle state.
+	InstanceStatus = core.InstanceStatus
+	// Library is the external-program registry.
+	Library = core.Library
+	// Program is one library entry.
+	Program = core.Program
+	// ProgramCtx is passed to program invocations.
+	ProgramCtx = core.ProgramCtx
+	// StartOptions tune a new instance.
+	StartOptions = core.StartOptions
+	// Event is an engine event (persisted to the history journal).
+	Event = core.Event
+	// SimRuntime is the deterministic simulated-cluster runtime.
+	SimRuntime = core.SimRuntime
+	// SimConfig configures a SimRuntime.
+	SimConfig = core.SimConfig
+	// LocalRuntime executes activities for real on worker goroutines.
+	LocalRuntime = core.LocalRuntime
+	// LocalConfig configures a LocalRuntime.
+	LocalConfig = core.LocalConfig
+	// OutageImpact answers what-if questions about planned outages.
+	OutageImpact = core.OutageImpact
+	// Lineage is the provenance graph of an instance.
+	Lineage = core.Lineage
+)
+
+// Cluster modelling types.
+type (
+	// ClusterSpec describes a cluster's hardware.
+	ClusterSpec = cluster.Spec
+	// NodeSpec describes one machine.
+	NodeSpec = cluster.NodeSpec
+)
+
+// Store types.
+type (
+	// Store persists templates, instances, configuration and history.
+	Store = store.Store
+)
+
+// Instance statuses.
+const (
+	InstanceRunning   = core.InstanceRunning
+	InstanceSuspended = core.InstanceSuspended
+	InstanceDone      = core.InstanceDone
+	InstanceFailed    = core.InstanceFailed
+)
+
+// Value constructors.
+var (
+	// Null is the null value.
+	Null = ocr.Null
+)
+
+// Bool returns a boolean value.
+func Bool(b bool) Value { return ocr.Bool(b) }
+
+// Num returns a numeric value.
+func Num(f float64) Value { return ocr.Num(f) }
+
+// Int returns a numeric value from an int.
+func Int(i int) Value { return ocr.Int(i) }
+
+// Str returns a string value.
+func Str(s string) Value { return ocr.Str(s) }
+
+// List returns a list value.
+func List(vs ...Value) Value { return ocr.List(vs...) }
+
+// ParseProcess parses OCR text containing exactly one process.
+func ParseProcess(src string) (*Process, error) { return ocr.ParseProcess(src) }
+
+// ParseFile parses OCR text containing one or more processes.
+func ParseFile(src string) ([]*Process, error) { return ocr.ParseFile(src) }
+
+// FormatProcess renders a process in canonical OCR text.
+func FormatProcess(p *Process) string { return ocr.Format(p) }
+
+// ParseExpr parses a condition/binding expression.
+func ParseExpr(src string) (Expr, error) { return ocr.ParseExpr(src) }
+
+// ProcessBuilder constructs processes programmatically (the library
+// counterpart of the paper's graphical process-creation element).
+type ProcessBuilder = ocr.Builder
+
+// TaskOption configures a task under construction in a ProcessBuilder.
+type TaskOption = ocr.TaskOption
+
+// NewProcessBuilder starts a programmatic process definition.
+func NewProcessBuilder(name string) *ProcessBuilder { return ocr.NewBuilder(name) }
+
+// Builder task options re-exported for fluent definitions.
+var (
+	// Arg binds a task argument to an expression.
+	Arg = ocr.Arg
+	// Out declares task output fields.
+	Out = ocr.Out
+	// MapTo maps an output field to a whiteboard name.
+	MapTo = ocr.MapTo
+	// Retry sets the retry count.
+	Retry = ocr.Retry
+	// TaskPriority sets the scheduling priority.
+	TaskPriority = ocr.Priority
+	// TaskCost sets the cost hint in seconds.
+	TaskCost = ocr.Cost
+	// OnFailureIgnore makes permanent failure non-fatal.
+	OnFailureIgnore = ocr.OnFailureIgnore
+	// OnFailureAlternative runs the named task on permanent failure.
+	OnFailureAlternative = ocr.OnFailureAlternative
+	// Undo names an activity's compensation program.
+	Undo = ocr.Undo
+	// Atomic marks a block as a sphere of atomicity.
+	Atomic = ocr.Atomic
+)
+
+// NewLibrary returns an empty program library.
+func NewLibrary() *Library { return core.NewLibrary() }
+
+// NewSimRuntime builds the deterministic simulated runtime.
+func NewSimRuntime(cfg SimConfig) (*SimRuntime, error) { return core.NewSimRuntime(cfg) }
+
+// NewLocalRuntime builds the real-execution runtime.
+func NewLocalRuntime(cfg LocalConfig) (*LocalRuntime, error) { return core.NewLocalRuntime(cfg) }
+
+// NewMemStore returns an in-memory store.
+func NewMemStore() Store { return store.NewMem() }
+
+// OpenDiskStore opens (or creates) a crash-safe store in dir.
+func OpenDiskStore(dir string) (Store, error) {
+	return store.OpenDisk(dir, store.DiskOptions{})
+}
+
+// Predefined cluster specifications from the paper's §5.1.
+var (
+	// IkSun is the five-CPU Sun cluster of the granularity experiment.
+	IkSun = cluster.IkSun
+	// IkLinux is the eight-node dual-CPU cluster of the second run.
+	IkLinux = cluster.IkLinux
+	// Linneus is the shared 38-CPU cluster.
+	Linneus = cluster.Linneus
+	// SharedRunSpec is linneus plus two ik-sun nodes (40 CPUs).
+	SharedRunSpec = cluster.SharedRunSpec
+)
+
+// Bioinformatics substrate (the stand-in for Swiss-Prot and Darwin).
+type (
+	// Dataset is a protein sequence collection.
+	Dataset = darwin.Dataset
+	// Sequence is one protein entry.
+	Sequence = darwin.Sequence
+	// GenOptions configure synthetic dataset generation.
+	GenOptions = darwin.GenOptions
+	// Match is one significant pair found by the all-vs-all.
+	Match = darwin.Match
+	// AllVsAllConfig configures the all-vs-all workload.
+	AllVsAllConfig = allvsall.Config
+)
+
+// GenerateDataset produces a deterministic synthetic protein dataset.
+func GenerateDataset(opts GenOptions) *Dataset { return darwin.Generate(opts) }
+
+// AllVsAllSource is the OCR definition of the paper's Fig. 3 process.
+const AllVsAllSource = allvsall.Source
+
+// AllVsAllTemplate is the registered template name of the all-vs-all.
+const AllVsAllTemplate = allvsall.TemplateName
+
+// RegisterAllVsAll installs the avsa.* programs behind AllVsAllSource.
+func RegisterAllVsAll(lib *Library, cfg *AllVsAllConfig) error {
+	return allvsall.Register(lib, cfg)
+}
+
+// DecodeMatches decodes a match-list output value of the all-vs-all.
+func DecodeMatches(v Value) ([]Match, error) { return allvsall.DecodeMatches(v) }
+
+// TowerSource is the OCR definition of the tower-of-information pipeline
+// (the paper's Fig. 1), one subprocess template per floor.
+const TowerSource = tower.Source
+
+// TowerTemplate is the parent template name of the tower.
+const TowerTemplate = tower.TemplateName
+
+// RegisterTower installs the tower.* programs behind TowerSource.
+func RegisterTower(lib *Library) error { return tower.Register(lib) }
+
+// TowerInputs builds the tower process inputs for a genome.
+func TowerInputs(dna string, minCodons int, threshold float64) map[string]Value {
+	return tower.Inputs(dna, minCodons, threshold)
+}
+
+// GenerateGenome produces a synthetic DNA sequence with planted genes,
+// returning the DNA and the planted proteins (ground truth).
+func GenerateGenome(genes int, seed int64) (dna string, proteins []string) {
+	return tower.GenerateGenome(tower.GenomeOptions{Genes: genes, Seed: seed, Related: true})
+}
+
+// StrList decodes a list-of-strings output value.
+func StrList(v Value) ([]string, error) { return tower.StrList(v) }
+
+// GenePredictionSource is the OCR definition of the §6 gene-prediction
+// process: two gene finders in parallel branches, codon-bias scoring, and
+// a consensus merge.
+const GenePredictionSource = tower.GenePredictionSource
+
+// GenePredictionTemplate is the gene-prediction template name.
+const GenePredictionTemplate = tower.GenePredictionTemplate
+
+// ScoredORF is a gene candidate with its codon-bias score.
+type ScoredORF = tower.ScoredORF
+
+// RegisterGenePrediction installs the genes.* programs behind
+// GenePredictionSource.
+func RegisterGenePrediction(lib *Library) error { return tower.RegisterGenePrediction(lib) }
+
+// GenePredictionInputs builds the gene-prediction process inputs.
+func GenePredictionInputs(dna string, minCodons int, biasCut float64) map[string]Value {
+	return tower.GenePredictionInputs(dna, minCodons, biasCut)
+}
+
+// DecodeORFs decodes a gene-prediction genes output value.
+func DecodeORFs(v Value) ([]ScoredORF, error) { return tower.DecodeORFs(v) }

@@ -1,0 +1,266 @@
+package bioopera
+
+import (
+	"testing"
+	"time"
+)
+
+// TestPublicAPIQuickstart exercises the documented public surface
+// end-to-end: define a process in OCR, register a program, run it for real
+// on the local runtime.
+func TestPublicAPIQuickstart(t *testing.T) {
+	lib := NewLibrary()
+	err := lib.Register(Program{
+		Name: "demo.hello",
+		Run: func(_ ProgramCtx, args map[string]Value) (map[string]Value, error) {
+			return map[string]Value{"text": Str("hello, " + args["name"].AsStr())}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := NewLocalRuntime(LocalConfig{Workers: 2, Library: lib})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	if err := rt.RegisterTemplateSource(`
+PROCESS Greet {
+    INPUT who;
+    OUTPUT greeting;
+    ACTIVITY Hello {
+        CALL demo.hello(name = who);
+        OUT text;
+        MAP text -> greeting;
+    }
+}`); err != nil {
+		t.Fatal(err)
+	}
+	id, err := rt.StartProcess("Greet", map[string]Value{"who": Str("virtual lab")}, StartOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := rt.Wait(id, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Status != InstanceDone || in.Outputs["greeting"].AsStr() != "hello, virtual lab" {
+		t.Fatalf("status %v outputs %v", in.Status, in.Outputs)
+	}
+}
+
+// TestPublicAPIAllVsAllSim runs the paper's workload on the simulated
+// cluster through the facade.
+func TestPublicAPIAllVsAllSim(t *testing.T) {
+	ds := GenerateDataset(GenOptions{N: 20, MeanLen: 50, Seed: 3, FamilyFraction: 0.5})
+	cfg := &AllVsAllConfig{Dataset: ds}
+	lib := NewLibrary()
+	if err := RegisterAllVsAll(lib, cfg); err != nil {
+		t.Fatal(err)
+	}
+	rt, err := NewSimRuntime(SimConfig{Seed: 1, Spec: IkSun(), Library: lib})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Engine.RegisterTemplateSource(AllVsAllSource); err != nil {
+		t.Fatal(err)
+	}
+	id, err := rt.Engine.StartProcess(AllVsAllTemplate, cfg.Inputs(4), StartOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Run()
+	in, _ := rt.Engine.Instance(id)
+	if in.Status != InstanceDone {
+		t.Fatalf("instance %s (%s)", in.Status, in.FailureReason)
+	}
+	ms, err := DecodeMatches(in.Outputs["master_file"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) == 0 {
+		t.Fatal("no matches from a family-rich dataset")
+	}
+}
+
+// TestPublicAPITower runs the Fig. 1 pipeline through the facade.
+func TestPublicAPITower(t *testing.T) {
+	dna, planted := GenerateGenome(3, 7)
+	lib := NewLibrary()
+	if err := RegisterTower(lib); err != nil {
+		t.Fatal(err)
+	}
+	rt, err := NewSimRuntime(SimConfig{Seed: 1, Spec: IkLinux(), Library: lib})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Engine.RegisterTemplateSource(TowerSource); err != nil {
+		t.Fatal(err)
+	}
+	id, err := rt.Engine.StartProcess(TowerTemplate, TowerInputs(dna, 30, 60), StartOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Run()
+	in, _ := rt.Engine.Instance(id)
+	if in.Status != InstanceDone {
+		t.Fatalf("tower: %s (%s)", in.Status, in.FailureReason)
+	}
+	proteins, err := StrList(in.Outputs["proteins"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(proteins) < len(planted) {
+		t.Fatalf("proteins %d < planted %d", len(proteins), len(planted))
+	}
+}
+
+// TestPublicAPIProcessRoundTrip checks the parse/format pair on the
+// facade.
+func TestPublicAPIProcessRoundTrip(t *testing.T) {
+	p, err := ParseProcess(AllVsAllSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := FormatProcess(p)
+	p2, err := ParseProcess(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if FormatProcess(p2) != text {
+		t.Fatal("round trip unstable")
+	}
+	e, err := ParseExpr("defined(queue_file) && len(parts) > 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.String() == "" {
+		t.Fatal("expr format empty")
+	}
+}
+
+// TestPublicAPIStores checks both store constructors.
+func TestPublicAPIStores(t *testing.T) {
+	mem := NewMemStore()
+	defer mem.Close()
+	disk, err := OpenDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer disk.Close()
+	for _, s := range []Store{mem, disk} {
+		if _, err := s.AppendEvent([]byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestValuesFacade checks the value constructors.
+func TestValuesFacade(t *testing.T) {
+	if !Null.IsNull() || !Bool(true).AsBool() || Num(2.5).AsNum() != 2.5 ||
+		Int(3).AsInt() != 3 || Str("x").AsStr() != "x" || List(Int(1)).Len() != 1 {
+		t.Fatal("value constructors broken")
+	}
+}
+
+// TestPublicAPIAwaitSignal exercises the §3.1 event-handling construct
+// through the facade on the local runtime.
+func TestPublicAPIAwaitSignal(t *testing.T) {
+	lib := NewLibrary()
+	lib.Register(Program{
+		Name: "demo.id",
+		Run: func(_ ProgramCtx, args map[string]Value) (map[string]Value, error) {
+			return map[string]Value{"out": args["x"]}, nil
+		},
+	})
+	rt, err := NewLocalRuntime(LocalConfig{Workers: 2, Library: lib})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	if err := rt.RegisterTemplateSource(`
+PROCESS Gated {
+  INPUT x;
+  OUTPUT out;
+  ACTIVITY Pre { CALL demo.id(x = x); OUT out; MAP out -> v; }
+  ACTIVITY Gate { AWAIT "go"; OUT bonus; MAP bonus -> bonus; }
+  ACTIVITY Post { CALL demo.id(x = v + bonus); OUT out; MAP out -> out; }
+  Pre -> Gate;
+  Gate -> Post;
+}`); err != nil {
+		t.Fatal(err)
+	}
+	id, err := rt.StartProcess("Gated", map[string]Value{"x": Num(40)}, StartOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the instance is parked on the gate, then signal.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var awaiting []string
+		rt.Do(func(e *Engine) { awaiting = e.Awaiting(id) })
+		if len(awaiting) == 1 && awaiting[0] == "go" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("never started awaiting")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	var sigErr error
+	rt.Do(func(e *Engine) {
+		sigErr = e.Signal(id, "go", map[string]Value{"bonus": Num(2)})
+	})
+	if sigErr != nil {
+		t.Fatal(sigErr)
+	}
+	in, err := rt.Wait(id, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Status != InstanceDone || in.Outputs["out"].AsNum() != 42 {
+		t.Fatalf("status %v out %v", in.Status, in.Outputs["out"])
+	}
+}
+
+// TestPublicAPIBuilder runs a builder-defined process end to end.
+func TestPublicAPIBuilder(t *testing.T) {
+	lib := NewLibrary()
+	lib.Register(Program{
+		Name: "demo.inc",
+		Run: func(_ ProgramCtx, args map[string]Value) (map[string]Value, error) {
+			return map[string]Value{"out": Num(args["x"].AsNum() + 1)}, nil
+		},
+	})
+	proc, err := NewProcessBuilder("Chain").
+		Inputs("x").
+		Outputs("y").
+		Activity("A", "demo.inc", Arg("x", "x"), Out("out"), MapTo("out", "mid"), Retry(1)).
+		Activity("B", "demo.inc", Arg("x", "mid"), Out("out"), MapTo("out", "y")).
+		Flow("A", "B").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := NewLocalRuntime(LocalConfig{Workers: 2, Library: lib})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	var regErr error
+	rt.Do(func(e *Engine) { regErr = e.RegisterTemplate(proc) })
+	if regErr != nil {
+		t.Fatal(regErr)
+	}
+	id, err := rt.StartProcess("Chain", map[string]Value{"x": Num(40)}, StartOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := rt.Wait(id, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Outputs["y"].AsNum() != 42 {
+		t.Fatalf("y = %v", in.Outputs["y"])
+	}
+}

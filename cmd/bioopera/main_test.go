@@ -1,0 +1,90 @@
+package main
+
+import (
+	"testing"
+
+	"bioopera/internal/core"
+	"bioopera/internal/ocr"
+)
+
+func TestParseInputs(t *testing.T) {
+	in, err := parseInputs([]string{
+		"n=42",
+		"name=plain-string",
+		"xs=[1,2,3]",
+		"flag=true",
+		"expr=2*21",
+		`quoted="with = sign"`,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in["n"].AsNum() != 42 {
+		t.Fatalf("n = %v", in["n"])
+	}
+	if in["name"].AsStr() != "plain-string" {
+		t.Fatalf("name = %v", in["name"])
+	}
+	if in["xs"].Len() != 3 {
+		t.Fatalf("xs = %v", in["xs"])
+	}
+	if !in["flag"].AsBool() {
+		t.Fatalf("flag = %v", in["flag"])
+	}
+	if in["expr"].AsNum() != 42 {
+		t.Fatalf("expr = %v", in["expr"])
+	}
+	if in["quoted"].AsStr() != "with = sign" {
+		t.Fatalf("quoted = %v", in["quoted"])
+	}
+	if _, err := parseInputs([]string{"novalue"}); err == nil {
+		t.Fatal("missing '=' accepted")
+	}
+}
+
+func TestSpecByName(t *testing.T) {
+	for _, name := range []string{"ik-sun", "ik-linux", "linneus", "shared"} {
+		spec, err := specByName(name)
+		if err != nil || spec.TotalCPUs() == 0 {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	if _, err := specByName("beowulf"); err == nil {
+		t.Fatal("unknown cluster accepted")
+	}
+}
+
+func TestStubLibraryCoversNestedCalls(t *testing.T) {
+	ps, err := ocr.ParseFile(`
+PROCESS P {
+  ACTIVITY A { CALL outer.prog(); OUT r; }
+  BLOCK B PARALLEL OVER [1] AS x {
+    OUTPUT o;
+    ACTIVITY Inner { CALL inner.prog(v = x); OUT o; MAP o -> o; }
+  }
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib := stubLibrary(ps, false)
+	for _, name := range []string{"outer.prog", "inner.prog"} {
+		p, ok := lib.Lookup(name)
+		if !ok {
+			t.Fatalf("stub for %s missing", name)
+		}
+		out, err := p.Run(core.ProgramCtx{}, map[string]ocr.Value{"r": ocr.Str("echoed")})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if name == "outer.prog" && out["r"].AsStr() != "echoed" {
+			t.Fatalf("stub did not echo same-named arg: %v", out)
+		}
+	}
+}
+
+func TestFmtArgsDeterministic(t *testing.T) {
+	args := map[string]ocr.Value{"b": ocr.Int(2), "a": ocr.Int(1)}
+	if got := fmtArgs(args); got != "a=1, b=2" {
+		t.Fatalf("fmtArgs = %q", got)
+	}
+}

@@ -1,0 +1,204 @@
+// Command experiments regenerates every measured artifact of the paper's
+// evaluation:
+//
+//	experiments fig4        granularity sweep (CPU/WALL vs. # TEUs)
+//	experiments fig5        shared-cluster all-vs-all lifecycle
+//	experiments fig6        non-shared-cluster all-vs-all lifecycle
+//	experiments table1      both runs, Table 1 layout
+//	experiments monitoring  adaptive-monitoring claim of §3.4 (+ sweep)
+//	experiments migration   kill-and-restart migration ablation (§5.4)
+//	experiments checkpoint  checkpoint-granularity ablation (§3.3)
+//	experiments all         everything above
+//
+// Use -quick for scaled-down datasets (seconds instead of half a minute
+// per lifecycle). Results are deterministic for a given -seed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"bioopera/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "scaled-down datasets for fast runs")
+	seed := flag.Int64("seed", 0, "override the experiment seed (0 = default)")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: experiments [-quick] [-seed N] {fig4|fig5|fig6|table1|monitoring|migration|checkpoint|all}")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	cmd := flag.Arg(0)
+	runner := &runner{quick: *quick, seed: *seed}
+	var err error
+	switch cmd {
+	case "fig4":
+		err = runner.fig4()
+	case "fig5":
+		err = runner.fig5()
+	case "fig6":
+		err = runner.fig6()
+	case "table1":
+		err = runner.table1()
+	case "monitoring":
+		err = runner.monitoring()
+	case "migration":
+		err = runner.migration()
+	case "checkpoint":
+		err = runner.checkpoint()
+	case "all":
+		for _, f := range []func() error{
+			runner.fig4, runner.table1, runner.fig5, runner.fig6,
+			runner.monitoring, runner.migration, runner.checkpoint,
+		} {
+			if err = f(); err != nil {
+				break
+			}
+			fmt.Println()
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+type runner struct {
+	quick bool
+	seed  int64
+}
+
+func (r *runner) lifecycleOptions() experiments.LifecycleOptions {
+	opts := experiments.LifecycleOptions{Seed: r.seed}
+	if r.quick {
+		opts.N = 20000
+		opts.MeanLen = 250
+		opts.TEUs = 160
+	}
+	return opts
+}
+
+func timed(name string, f func() error) error {
+	start := time.Now()
+	if err := f(); err != nil {
+		return err
+	}
+	fmt.Printf("[%s regenerated in %v]\n", name, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+func (r *runner) fig4() error {
+	return timed("fig4", func() error {
+		opts := experiments.Fig4Options{Seed: r.seed}
+		if r.quick {
+			opts.N = 250
+			opts.MeanLen = 300
+			opts.TEUs = []int{1, 2, 5, 10, 20, 50, 125, 250}
+		}
+		res, err := experiments.Fig4(opts)
+		if err != nil {
+			return err
+		}
+		res.Fprint(os.Stdout)
+		return nil
+	})
+}
+
+func (r *runner) fig5() error {
+	return timed("fig5", func() error {
+		res, err := experiments.SharedLifecycle(r.lifecycleOptions())
+		if err != nil {
+			return err
+		}
+		experiments.FprintLifecycle(os.Stdout,
+			"Fig. 5 — Lifecycle of the all-vs-all (first run, shared cluster):\nprocessor availability and utilization vs. WALL time", res)
+		return nil
+	})
+}
+
+func (r *runner) fig6() error {
+	return timed("fig6", func() error {
+		res, err := experiments.NonSharedLifecycle(r.lifecycleOptions())
+		if err != nil {
+			return err
+		}
+		experiments.FprintLifecycle(os.Stdout,
+			"Fig. 6 — Lifecycle of the all-vs-all (second run, non-shared cluster):\nprocessor availability and utilization vs. WALL time", res)
+		return nil
+	})
+}
+
+func (r *runner) table1() error {
+	return timed("table1", func() error {
+		res, err := experiments.Table1(r.lifecycleOptions())
+		if err != nil {
+			return err
+		}
+		res.Fprint(os.Stdout)
+		return nil
+	})
+}
+
+func (r *runner) monitoring() error {
+	return timed("monitoring", func() error {
+		opts := experiments.MonitoringOptions{Seed: r.seed}
+		if r.quick {
+			opts.Horizon = 2 * 24 * time.Hour
+		}
+		res, err := experiments.Monitoring(opts)
+		if err != nil {
+			return err
+		}
+		res.Fprint(os.Stdout)
+		fmt.Println()
+		rows, err := experiments.MonitoringSweep(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println("sampling back-off sweep (bursty pattern): overhead vs. accuracy")
+		fmt.Printf("%-14s %9s %9s %12s\n", "max interval", "samples", "reports", "mean |err|")
+		for _, row := range rows {
+			fmt.Printf("%-14s %9d %9d %12.4f\n", row.Pattern, row.Samples, row.Reports, row.MeanAbsErr)
+		}
+		return nil
+	})
+}
+
+func (r *runner) migration() error {
+	return timed("migration", func() error {
+		res, err := experiments.Migration(experiments.MigrationOptions{Seed: r.seed})
+		if err != nil {
+			return err
+		}
+		res.Fprint(os.Stdout)
+		return nil
+	})
+}
+
+func (r *runner) checkpoint() error {
+	return timed("checkpoint", func() error {
+		opts := experiments.CheckpointOptions{Seed: r.seed}
+		if r.quick {
+			opts.N = 1500
+			opts.TEUs = []int{4, 16, 64}
+			opts.CrashEvery = 2 * time.Minute
+			opts.Repair = 3 * time.Minute
+		}
+		res, err := experiments.Checkpoint(opts)
+		if err != nil {
+			return err
+		}
+		res.Fprint(os.Stdout)
+		return nil
+	})
+}

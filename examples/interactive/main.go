@@ -1,0 +1,159 @@
+// Human-in-the-loop computing (§3.4): "the monitor allows users to
+// actively influence the computation ... users will be able to check
+// intermediate results and change or eliminate them if necessary."
+//
+// The process aligns two synthetic protein families, then *waits* at an
+// AWAIT gate. The "scientist" (this program) inspects the intermediate
+// match count and decides: if the first pass found too few matches, it
+// lowers the score threshold before approving; the final refinement then
+// uses the corrected parameter.
+//
+//	go run ./examples/interactive
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"bioopera"
+)
+
+const src = `
+PROCESS Curated "All-vs-all with a scientist's checkpoint" {
+  INPUT db, threshold;
+  OUTPUT matches, used_threshold;
+
+  ACTIVITY FirstPass {
+    CALL lab.scan(db = db, threshold = threshold);
+    OUT found;
+    MAP found -> preliminary;
+  }
+
+  ACTIVITY Review {
+    AWAIT "approved";
+    OUT threshold;
+    MAP threshold -> final_threshold;
+  }
+
+  ACTIVITY FinalPass {
+    CALL lab.refine(db = db, threshold = final_threshold);
+    OUT found, used;
+    MAP found -> matches, used -> used_threshold;
+  }
+
+  FirstPass -> Review;
+  Review -> FinalPass;
+}
+`
+
+func main() {
+	ds := bioopera.GenerateDataset(bioopera.GenOptions{
+		N: 30, MeanLen: 90, Seed: 77, FamilyFraction: 0.4, FamilyPAM: 45,
+	})
+
+	lib := bioopera.NewLibrary()
+	scan := func(threshold float64) int {
+		c := &bioopera.AllVsAllConfig{Dataset: ds}
+		c.Fixed.Threshold = threshold
+		n := 0
+		// Reuse the real alignment engine through the workload config.
+		lib2 := bioopera.NewLibrary()
+		bioopera.RegisterAllVsAll(lib2, c)
+		p, _ := lib2.Lookup("avsa.align_fixed")
+		out, err := p.Run(bioopera.ProgramCtx{}, map[string]bioopera.Value{
+			"part":  bioopera.List(bioopera.Int(0), bioopera.Int(ds.Len())),
+			"queue": bioopera.List(bioopera.Int(0), bioopera.Int(ds.Len())),
+			"db":    bioopera.Str(ds.Name),
+		})
+		if err == nil {
+			n = out["matches"].Len()
+		}
+		return n
+	}
+	must(lib.Register(bioopera.Program{
+		Name: "lab.scan",
+		Run: func(_ bioopera.ProgramCtx, args map[string]bioopera.Value) (map[string]bioopera.Value, error) {
+			return map[string]bioopera.Value{
+				"found": bioopera.Int(scan(args["threshold"].AsNum())),
+			}, nil
+		},
+	}))
+	must(lib.Register(bioopera.Program{
+		Name: "lab.refine",
+		Run: func(_ bioopera.ProgramCtx, args map[string]bioopera.Value) (map[string]bioopera.Value, error) {
+			thr := args["threshold"].AsNum()
+			return map[string]bioopera.Value{
+				"found": bioopera.Int(scan(thr)),
+				"used":  bioopera.Num(thr),
+			}, nil
+		},
+	}))
+
+	rt, err := bioopera.NewLocalRuntime(bioopera.LocalConfig{Workers: 2, Library: lib})
+	must(err)
+	defer rt.Close()
+	must(rt.RegisterTemplateSource(src))
+
+	const initialThreshold = 2500 // deliberately too strict
+	id, err := rt.StartProcess("Curated", map[string]bioopera.Value{
+		"db":        bioopera.Str(ds.Name),
+		"threshold": bioopera.Num(initialThreshold),
+	}, bioopera.StartOptions{})
+	must(err)
+
+	// Wait until the process parks at the Review gate.
+	for {
+		var awaiting []string
+		rt.Do(func(e *bioopera.Engine) { awaiting = e.Awaiting(id) })
+		if len(awaiting) == 1 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The scientist checks the intermediate result...
+	var preliminary int
+	rt.Do(func(e *bioopera.Engine) {
+		lg, err := e.Lineage(id)
+		must(err)
+		fmt.Printf("process parked at the Review gate (producer of preliminary: %s)\n",
+			lg.Producer("preliminary"))
+	})
+	rt.Do(func(e *bioopera.Engine) {
+		in, _ := e.Instance(id)
+		fmt.Printf("instance progress: %.0f%%\n", 100*in.Progress())
+	})
+	// Read the whiteboard through a parameter... the example keeps it
+	// simple: re-run the scan to see what the first pass saw.
+	preliminary = scan(initialThreshold)
+	fmt.Printf("first pass at threshold %d found %d matches\n", initialThreshold, preliminary)
+
+	// ...and corrects the parameter before approving.
+	finalThreshold := float64(initialThreshold)
+	if preliminary < 5 {
+		finalThreshold = 80
+		fmt.Printf("too few — scientist lowers the threshold to %.0f and approves\n", finalThreshold)
+	} else {
+		fmt.Println("looks fine — scientist approves as-is")
+	}
+	rt.Do(func(e *bioopera.Engine) {
+		must(e.Signal(id, "approved", map[string]bioopera.Value{
+			"threshold": bioopera.Num(finalThreshold),
+		}))
+	})
+
+	in, err := rt.Wait(id, time.Minute)
+	must(err)
+	if in.Status != bioopera.InstanceDone {
+		log.Fatalf("process %s: %s", in.Status, in.FailureReason)
+	}
+	fmt.Printf("\nfinal pass at threshold %.0f found %v matches\n",
+		in.Outputs["used_threshold"].AsNum(), in.Outputs["matches"].AsNum())
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

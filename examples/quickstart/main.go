@@ -1,0 +1,89 @@
+// Quickstart: define a small process in OCR, register the programs its
+// activities call, and run it for real on the local worker pool.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"bioopera"
+)
+
+// The process: greet every guest in parallel, then assemble a banner.
+const src = `
+PROCESS Party "Greet every guest, then hang the banner" {
+  INPUT guests;
+  OUTPUT banner;
+
+  BLOCK GreetAll PARALLEL OVER guests AS guest {
+    MAP results -> greetings;
+    OUTPUT line;
+    ACTIVITY Greet {
+      CALL party.greet(name = guest);
+      OUT line;
+      MAP line -> line;
+      RETRY 1;
+    }
+  }
+
+  ACTIVITY Banner {
+    CALL party.banner(lines = greetings);
+    OUT banner;
+    MAP banner -> banner;
+  }
+
+  GreetAll -> Banner;
+}
+`
+
+func main() {
+	// 1. The activity library: external bindings are plain Go functions.
+	lib := bioopera.NewLibrary()
+	must(lib.Register(bioopera.Program{
+		Name: "party.greet",
+		Run: func(ctx bioopera.ProgramCtx, args map[string]bioopera.Value) (map[string]bioopera.Value, error) {
+			line := fmt.Sprintf("hello, %s! (greeted on %s)", args["name"].AsStr(), ctx.Node)
+			return map[string]bioopera.Value{"line": bioopera.Str(line)}, nil
+		},
+	}))
+	must(lib.Register(bioopera.Program{
+		Name: "party.banner",
+		Run: func(_ bioopera.ProgramCtx, args map[string]bioopera.Value) (map[string]bioopera.Value, error) {
+			lines, err := bioopera.StrList(args["lines"])
+			if err != nil {
+				return nil, err
+			}
+			return map[string]bioopera.Value{"banner": bioopera.Str(strings.Join(lines, "\n"))}, nil
+		},
+	}))
+
+	// 2. A local runtime: activities really execute, on 4 workers.
+	rt, err := bioopera.NewLocalRuntime(bioopera.LocalConfig{Workers: 4, Library: lib})
+	must(err)
+	defer rt.Close()
+	must(rt.RegisterTemplateSource(src))
+
+	// 3. Start the process and wait.
+	guests := bioopera.List(
+		bioopera.Str("Ada"), bioopera.Str("Grace"),
+		bioopera.Str("Barbara"), bioopera.Str("Edsger"),
+	)
+	id, err := rt.StartProcess("Party", map[string]bioopera.Value{"guests": guests}, bioopera.StartOptions{})
+	must(err)
+	in, err := rt.Wait(id, 10*time.Second)
+	must(err)
+
+	fmt.Printf("instance %s finished: %s (%d activities, CPU %v)\n\n",
+		in.ID, in.Status, in.Activities, in.CPU.Round(time.Millisecond))
+	fmt.Println(in.Outputs["banner"].AsStr())
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

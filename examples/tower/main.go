@@ -1,0 +1,79 @@
+// The tower of information (the paper's Fig. 1): the multi-step
+// computational-biology pipeline that motivates BioOpera, run for real as
+// a hierarchical process — every floor is a subprocess, the translation
+// and structure-prediction floors are parallel tasks.
+//
+//	raw DNA → genes → proteins → pairwise distances →
+//	multiple alignment + phylogenetic tree → ancestral sequence →
+//	secondary-structure predictions
+//
+//	go run ./examples/tower
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"bioopera"
+)
+
+func main() {
+	dna, planted := bioopera.GenerateGenome(5, 2026)
+	fmt.Printf("synthetic genome: %d bases, %d planted genes\n\n", len(dna), len(planted))
+
+	lib := bioopera.NewLibrary()
+	must(bioopera.RegisterTower(lib))
+	rt, err := bioopera.NewLocalRuntime(bioopera.LocalConfig{Workers: 4, Library: lib})
+	must(err)
+	defer rt.Close()
+	must(rt.RegisterTemplateSource(bioopera.TowerSource))
+
+	start := time.Now()
+	id, err := rt.StartProcess(bioopera.TowerTemplate,
+		bioopera.TowerInputs(dna, 30, 60), bioopera.StartOptions{})
+	must(err)
+	in, err := rt.Wait(id, 5*time.Minute)
+	must(err)
+	if in.Status != bioopera.InstanceDone {
+		log.Fatalf("tower: %s (%s)", in.Status, in.FailureReason)
+	}
+	fmt.Printf("tower completed in %v (%d activities across %d subprocess floors)\n\n",
+		time.Since(start).Round(time.Millisecond), in.Activities, 7)
+
+	proteins, _ := bioopera.StrList(in.Outputs["proteins"])
+	fmt.Printf("floor 1-2  genes → proteins: %d found (planted %d)\n", len(proteins), len(planted))
+
+	msa, _ := bioopera.StrList(in.Outputs["alignment"])
+	if len(msa) > 0 {
+		fmt.Printf("floor 3-4  multiple alignment: %d rows × %d columns\n", len(msa), len(msa[0]))
+	}
+
+	fmt.Printf("floor 5    phylogenetic tree: %s\n", trunc(in.Outputs["tree"].AsStr(), 90))
+
+	anc := in.Outputs["ancestor"].AsStr()
+	fmt.Printf("floor 6    ancestral sequence: %d aa, %s\n", len(anc), trunc(anc, 60))
+
+	preds, _ := bioopera.StrList(in.Outputs["predictions"])
+	fmt.Printf("floor 7    secondary structure (H=helix, E=sheet, C=coil):\n")
+	for i := range proteins {
+		if i == 4 {
+			fmt.Printf("           ... and %d more\n", len(proteins)-4)
+			break
+		}
+		fmt.Printf("           %s\n           %s\n", trunc(proteins[i], 72), trunc(preds[i], 72))
+	}
+}
+
+func trunc(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-3] + "..."
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

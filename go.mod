@@ -1,0 +1,3 @@
+module bioopera
+
+go 1.23

@@ -1,0 +1,241 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"bioopera/internal/cluster"
+	"bioopera/internal/sim"
+)
+
+// This file is the awareness model (§3.4/§3.5): BioOpera stores enough
+// information about the computing environment to track availability and
+// utilization over time (the data behind Figs. 5 and 6) and to answer
+// what-if questions about planned outages ("a system administrator could
+// ask the system which processes will be affected if a node or set of
+// nodes is taken off-line").
+
+// Sample is one point of the lifecycle trace.
+type Sample struct {
+	At        sim.Time
+	Available int     // CPU slots on nodes that are up
+	Busy      int     // CPU slots occupied by BioOpera jobs
+	Effective float64 // processors actually computing BioOpera work
+}
+
+// Annotation labels a moment of the trace (the numbered events of Fig. 5).
+type Annotation struct {
+	At    sim.Time
+	Label string
+}
+
+// Tracker samples cluster availability and utilization on the simulation
+// clock.
+type Tracker struct {
+	c           *cluster.Cluster
+	samples     []Sample
+	annotations []Annotation
+	timer       *sim.Timer
+}
+
+// NewTracker starts sampling every interval.
+func NewTracker(s *sim.Sim, c *cluster.Cluster, every time.Duration) *Tracker {
+	t := &Tracker{c: c}
+	t.record(s.Now())
+	t.timer = s.Every(every, func(now sim.Time) { t.record(now) })
+	return t
+}
+
+func (t *Tracker) record(now sim.Time) {
+	t.samples = append(t.samples, Sample{
+		At:        now,
+		Available: t.c.AvailableCPUs(),
+		Busy:      t.c.BusyCPUs(),
+		Effective: t.c.EffectiveBusy(),
+	})
+}
+
+// Stop halts sampling.
+func (t *Tracker) Stop() {
+	if t.timer != nil {
+		t.timer.Stop()
+	}
+}
+
+// Annotate records a labelled event at the current simulation time.
+func (t *Tracker) Annotate(now sim.Time, label string) {
+	t.annotations = append(t.annotations, Annotation{At: now, Label: label})
+}
+
+// Samples returns the collected trace.
+func (t *Tracker) Samples() []Sample { return append([]Sample(nil), t.samples...) }
+
+// Annotations returns the labelled events.
+func (t *Tracker) Annotations() []Annotation {
+	return append([]Annotation(nil), t.annotations...)
+}
+
+// MeanUtilization returns mean busy/available over samples where the
+// cluster had capacity.
+func (t *Tracker) MeanUtilization() float64 {
+	var sum float64
+	var n int
+	for _, s := range t.samples {
+		if s.Available > 0 {
+			sum += float64(s.Busy) / float64(s.Available)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// PeakBusy returns the maximum observed busy CPU count — the paper's
+// "using up to N processors".
+func (t *Tracker) PeakBusy() int {
+	var m int
+	for _, s := range t.samples {
+		if s.Busy > m {
+			m = s.Busy
+		}
+	}
+	return m
+}
+
+// JobImpact identifies one activity hit by a hypothetical outage.
+type JobImpact struct {
+	Job      string
+	Instance string
+	Scope    string
+	Task     string
+	Node     string
+	Progress string // "running" or "queued-affine"
+}
+
+// OutageImpact is the answer to "what happens if these nodes go away?".
+type OutageImpact struct {
+	// Nodes is the hypothetical outage set.
+	Nodes []string
+	// Jobs lists activities that would be lost or stuck.
+	Jobs []JobImpact
+	// Instances lists the distinct affected process instances.
+	Instances []string
+	// RemainingCPUs is the cluster capacity left during the outage.
+	RemainingCPUs int
+	// Stranded reports jobs whose placement constraints cannot be met
+	// by the remaining nodes — the computation would stall on them.
+	Stranded []JobImpact
+	// Progress maps each affected instance to how far along it is
+	// (§3.5: administrators see "how far in their execution these
+	// processes are, their priority").
+	Progress map[string]float64
+	// Priority maps each affected instance to its priority.
+	Priority map[string]int
+}
+
+// WhatIf reports the impact of taking the given nodes offline: which
+// running activities would be killed and rescheduled, which queued
+// activities could no longer be placed anywhere, and how much capacity
+// remains (§3.5).
+func (e *Engine) WhatIf(nodes []string) OutageImpact {
+	down := make(map[string]bool, len(nodes))
+	for _, n := range nodes {
+		down[n] = true
+	}
+	impact := OutageImpact{Nodes: append([]string(nil), nodes...)}
+	affected := make(map[string]bool)
+
+	// Running jobs on the outage set get killed and rescheduled.
+	ids := make([]string, 0, len(e.running))
+	for id := range e.running {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		ref := e.running[id]
+		if down[ref.ts.Node] {
+			impact.Jobs = append(impact.Jobs, JobImpact{
+				Job: id, Instance: ref.inst.ID, Scope: ref.sc.ID,
+				Task: ref.ts.Name, Node: ref.ts.Node, Progress: "running",
+			})
+			affected[ref.inst.ID] = true
+		}
+	}
+
+	// Remaining capacity and stranding analysis.
+	var remaining []cluster.NodeView
+	for _, v := range e.opts.Executor.Nodes() {
+		if down[v.Name] {
+			continue
+		}
+		if v.Up {
+			impact.RemainingCPUs += v.CPUs
+		}
+		// Pretend the node is otherwise empty for feasibility checks.
+		v.Running = 0
+		remaining = append(remaining, v)
+	}
+
+	check := func(id string, ref *queuedRef, progress string) {
+		t := ref.sc.Proc.Task(ref.ts.Name)
+		prog, ok := e.opts.Library.Lookup(t.Program)
+		if !ok {
+			return
+		}
+		feasible := false
+		for _, v := range remaining {
+			if !v.Up {
+				continue
+			}
+			if prog.OS != "" && v.OS != prog.OS {
+				continue
+			}
+			if len(prog.Nodes) > 0 {
+				found := false
+				for _, n := range prog.Nodes {
+					if n == v.Name {
+						found = true
+						break
+					}
+				}
+				if !found {
+					continue
+				}
+			}
+			feasible = true
+			break
+		}
+		if !feasible {
+			impact.Stranded = append(impact.Stranded, JobImpact{
+				Job: id, Instance: ref.inst.ID, Scope: ref.sc.ID,
+				Task: ref.ts.Name, Node: ref.ts.Node, Progress: progress,
+			})
+			affected[ref.inst.ID] = true
+		}
+	}
+	for _, id := range ids {
+		check(id, e.running[id], "running")
+	}
+	qids := make([]string, 0, len(e.queued))
+	for id := range e.queued {
+		qids = append(qids, id)
+	}
+	sort.Strings(qids)
+	for _, id := range qids {
+		check(id, e.queued[id], "queued-affine")
+	}
+
+	impact.Progress = make(map[string]float64, len(affected))
+	impact.Priority = make(map[string]int, len(affected))
+	for id := range affected {
+		impact.Instances = append(impact.Instances, id)
+		if in, ok := e.instances[id]; ok {
+			impact.Progress[id] = in.Progress()
+			impact.Priority[id] = in.Priority
+		}
+	}
+	sort.Strings(impact.Instances)
+	return impact
+}

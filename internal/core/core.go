@@ -1,0 +1,448 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"bioopera/internal/cluster"
+	"bioopera/internal/ocr"
+	"bioopera/internal/sched"
+	"bioopera/internal/sim"
+	"bioopera/internal/store"
+)
+
+// Engine errors.
+var (
+	ErrUnknownTemplate = errors.New("core: unknown template")
+	ErrUnknownInstance = errors.New("core: unknown instance")
+	ErrBadState        = errors.New("core: operation invalid in current state")
+)
+
+// Executor abstracts the cluster the dispatcher talks to. The simulated
+// cluster (internal/cluster) and the local real-time pool both implement
+// it.
+type Executor interface {
+	// Nodes returns the current placement view.
+	Nodes() []cluster.NodeView
+	// Start launches a job; completions arrive via the engine's
+	// HandleCompletion.
+	Start(id cluster.JobID, node string, cost time.Duration, nice bool) error
+	// Kill aborts a running job; a completion with an error follows.
+	Kill(id cluster.JobID, node string) error
+}
+
+// Clock supplies virtual (or pseudo-real) time for accounting.
+type Clock interface{ Now() sim.Time }
+
+// ClockFunc adapts a function to Clock.
+type ClockFunc func() sim.Time
+
+// Now implements Clock.
+func (f ClockFunc) Now() sim.Time { return f() }
+
+// EventKind classifies engine events.
+type EventKind string
+
+// Engine event kinds.
+const (
+	EvInstanceStarted   EventKind = "instance-started"
+	EvInstanceDone      EventKind = "instance-done"
+	EvInstanceFailed    EventKind = "instance-failed"
+	EvInstanceSuspended EventKind = "instance-suspended"
+	EvInstanceResumed   EventKind = "instance-resumed"
+	EvTaskReady         EventKind = "task-ready"
+	EvTaskDispatched    EventKind = "task-dispatched"
+	EvTaskEnded         EventKind = "task-ended"
+	EvTaskFailed        EventKind = "task-failed"
+	EvTaskRetried       EventKind = "task-retried"
+	EvTaskDead          EventKind = "task-dead"
+	EvServerRecovered   EventKind = "server-recovered"
+	EvSphereAborted     EventKind = "sphere-aborted"
+	EvUndoRun           EventKind = "undo-run"
+	EvUndoFailed        EventKind = "undo-failed"
+	EvTaskAwaiting      EventKind = "task-awaiting"
+	EvSignal            EventKind = "signal"
+)
+
+// Event is one engine-level occurrence, persisted to the history journal.
+type Event struct {
+	At       sim.Time  `json:"at"`
+	Kind     EventKind `json:"kind"`
+	Instance string    `json:"instance,omitempty"`
+	Scope    string    `json:"scope,omitempty"`
+	Task     string    `json:"task,omitempty"`
+	Node     string    `json:"node,omitempty"`
+	Detail   string    `json:"detail,omitempty"`
+}
+
+// Options configure an Engine.
+type Options struct {
+	// Store persists templates, instances, configuration and history.
+	// Required.
+	Store store.Store
+	// Library resolves external bindings. Required.
+	Library *Library
+	// Executor runs activities. Required.
+	Executor Executor
+	// Clock supplies time. Required.
+	Clock Clock
+	// Policy places activities; defaults to LeastLoaded.
+	Policy sched.Policy
+	// OnInstanceDone fires when an instance reaches Done or Failed.
+	OnInstanceDone func(*Instance)
+	// OnEvent observes every engine event (may be nil).
+	OnEvent func(Event)
+}
+
+// queuedRef connects a queued sched.Job back to its task.
+type queuedRef struct {
+	inst *Instance
+	sc   *scope
+	ts   *taskState
+}
+
+// Engine is the BioOpera server: navigator + dispatcher + recovery.
+// It is not internally synchronized; drivers must serialize calls.
+type Engine struct {
+	opts      Options
+	policy    sched.Policy
+	templates map[string]*ocr.Process
+	instances map[string]*Instance
+	order     []string // instance creation order, for determinism
+	queue     sched.Queue
+	queued    map[string]*queuedRef             // job ID → queued task
+	running   map[string]*queuedRef             // job ID → running task
+	waiting   map[string][]*queuedRef           // instance|event → AWAIT tasks
+	signals   map[string][]map[string]ocr.Value // buffered signals
+	nextID    int
+	paused    bool // global suspend (server-level)
+}
+
+// New builds an engine and loads templates already in the store.
+func New(opts Options) (*Engine, error) {
+	if opts.Store == nil || opts.Library == nil || opts.Executor == nil || opts.Clock == nil {
+		return nil, fmt.Errorf("core: Store, Library, Executor and Clock are required")
+	}
+	if opts.Policy == nil {
+		opts.Policy = sched.LeastLoaded{}
+	}
+	e := &Engine{
+		opts:      opts,
+		policy:    opts.Policy,
+		templates: make(map[string]*ocr.Process),
+		instances: make(map[string]*Instance),
+		queued:    make(map[string]*queuedRef),
+		running:   make(map[string]*queuedRef),
+		waiting:   make(map[string][]*queuedRef),
+		signals:   make(map[string][]map[string]ocr.Value),
+	}
+	kvs, err := opts.Store.List(store.Template)
+	if err != nil {
+		return nil, err
+	}
+	for _, kv := range kvs {
+		p, err := ocr.ParseProcess(string(kv.Value))
+		if err != nil {
+			return nil, fmt.Errorf("core: template %q in store is invalid: %w", kv.Key, err)
+		}
+		e.templates[kv.Key] = p
+	}
+	return e, nil
+}
+
+func (e *Engine) now() sim.Time { return e.opts.Clock.Now() }
+
+func (e *Engine) emit(ev Event) {
+	ev.At = e.now()
+	if data, err := json.Marshal(ev); err == nil {
+		e.opts.Store.AppendEvent(data)
+	}
+	if e.opts.OnEvent != nil {
+		e.opts.OnEvent(ev)
+	}
+}
+
+// RegisterTemplate validates a process and stores it in the template
+// space under its name. Existing templates are replaced; running
+// instances keep the definition they started with (late binding picks up
+// the new version for subprocesses instantiated afterwards).
+func (e *Engine) RegisterTemplate(p *ocr.Process) error {
+	if err := p.ValidateWithTemplates(e.resolveTemplate); err != nil {
+		return err
+	}
+	if err := e.opts.Store.Put(store.Template, p.Name, []byte(ocr.Format(p))); err != nil {
+		return err
+	}
+	e.templates[p.Name] = p.Clone()
+	return nil
+}
+
+// RegisterTemplateSource parses OCR text and registers every process in
+// it.
+func (e *Engine) RegisterTemplateSource(src string) error {
+	ps, err := ocr.ParseFile(src)
+	if err != nil {
+		return err
+	}
+	for _, p := range ps {
+		if err := e.RegisterTemplate(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Template returns a copy of a registered template.
+func (e *Engine) Template(name string) (*ocr.Process, bool) {
+	p, ok := e.templates[name]
+	if !ok {
+		return nil, false
+	}
+	return p.Clone(), true
+}
+
+// Templates lists registered template names, sorted.
+func (e *Engine) Templates() []string {
+	out := make([]string, 0, len(e.templates))
+	for n := range e.templates {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (e *Engine) resolveTemplate(name string) (*ocr.Process, bool) {
+	p, ok := e.templates[name]
+	return p, ok
+}
+
+// StartOptions tune a new instance.
+type StartOptions struct {
+	// Priority orders this instance's activities in the queue.
+	Priority int
+	// Nice makes activities yield to competing cluster load (the
+	// paper's shared-cluster mode).
+	Nice bool
+}
+
+// StartProcess instantiates a template and begins navigation. It returns
+// the new instance ID.
+func (e *Engine) StartProcess(template string, inputs map[string]ocr.Value, opts StartOptions) (string, error) {
+	tpl, ok := e.templates[template]
+	if !ok {
+		return "", fmt.Errorf("%w: %s", ErrUnknownTemplate, template)
+	}
+	e.nextID++
+	in := &Instance{
+		ID:       fmt.Sprintf("p%04d", e.nextID),
+		Template: template,
+		Status:   InstanceRunning,
+		Priority: opts.Priority,
+		Nice:     opts.Nice,
+		Started:  e.now(),
+	}
+	proc := tpl.Clone()
+	root := &scope{
+		ID:         "",
+		Proc:       proc,
+		ElemIndex:  -1,
+		Whiteboard: make(map[string]ocr.Value),
+		Tasks:      make(map[string]*taskState),
+		children:   make(map[string]*scope),
+	}
+	for _, name := range proc.Inputs {
+		if v, ok := inputs[name]; ok {
+			root.Whiteboard[name] = v
+		}
+	}
+	in.root = root
+	in.scopes = map[string]*scope{"": root}
+	e.instances[in.ID] = in
+	e.order = append(e.order, in.ID)
+
+	if err := e.initScope(in, root); err != nil {
+		delete(e.instances, in.ID)
+		e.order = e.order[:len(e.order)-1]
+		return "", err
+	}
+	e.emit(Event{Kind: EvInstanceStarted, Instance: in.ID, Detail: template})
+	e.persist(in)
+	e.activateRoots(in, root)
+	e.maybeCompleteScope(in, root)
+	e.Pump()
+	return in.ID, nil
+}
+
+// initScope evaluates DATA initializers into the scope whiteboard.
+func (e *Engine) initScope(in *Instance, sc *scope) error {
+	env := scopeEnv{sc}
+	for _, d := range sc.Proc.Data {
+		if d.Init == nil {
+			continue
+		}
+		v, err := d.Init.Eval(env)
+		if err != nil {
+			return fmt.Errorf("core: initializing DATA %s: %w", d.Name, err)
+		}
+		sc.Whiteboard[d.Name] = v
+	}
+	for _, t := range sc.Proc.Tasks {
+		sc.Tasks[t.Name] = &taskState{
+			Name:   t.Name,
+			ConnIn: make([]connState, len(sc.Proc.Incoming(t.Name))),
+		}
+	}
+	e.touch(sc)
+	return nil
+}
+
+// Instance returns a running or finished instance.
+func (e *Engine) Instance(id string) (*Instance, bool) {
+	in, ok := e.instances[id]
+	return in, ok
+}
+
+// Instances returns every instance in creation order.
+func (e *Engine) Instances() []*Instance {
+	out := make([]*Instance, 0, len(e.order))
+	for _, id := range e.order {
+		out = append(out, e.instances[id])
+	}
+	return out
+}
+
+// QueueLen reports how many activities await dispatch.
+func (e *Engine) QueueLen() int { return e.queue.Len() }
+
+// RunningJobs reports how many activities are executing on the cluster.
+func (e *Engine) RunningJobs() int { return len(e.running) }
+
+// Suspend stops dispatching new activities of an instance. When graceful,
+// running jobs finish normally (the paper's event 1: "letting ongoing jobs
+// finish but not starting new ones"); otherwise they are killed and
+// requeued.
+func (e *Engine) Suspend(id string, graceful bool) error {
+	in, ok := e.instances[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownInstance, id)
+	}
+	if in.Status != InstanceRunning {
+		return fmt.Errorf("%w: instance %s is %s", ErrBadState, id, in.Status)
+	}
+	in.Status = InstanceSuspended
+	e.emit(Event{Kind: EvInstanceSuspended, Instance: id, Detail: fmt.Sprintf("graceful=%v", graceful)})
+	if !graceful {
+		e.killRunning(in)
+	}
+	e.persist(in)
+	return nil
+}
+
+// Resume restarts dispatching for a suspended instance.
+func (e *Engine) Resume(id string) error {
+	in, ok := e.instances[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownInstance, id)
+	}
+	if in.Status != InstanceSuspended {
+		return fmt.Errorf("%w: instance %s is %s", ErrBadState, id, in.Status)
+	}
+	in.Status = InstanceRunning
+	e.emit(Event{Kind: EvInstanceResumed, Instance: id})
+	e.persist(in)
+	e.Pump()
+	return nil
+}
+
+// Abort fails an instance on user request.
+func (e *Engine) Abort(id string, reason string) error {
+	in, ok := e.instances[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownInstance, id)
+	}
+	if in.Status == InstanceDone || in.Status == InstanceFailed {
+		return fmt.Errorf("%w: instance %s is %s", ErrBadState, id, in.Status)
+	}
+	e.failInstance(in, "aborted: "+reason)
+	return nil
+}
+
+// SetParameter changes a whiteboard value of a running or suspended
+// instance (§3.4: "the user can ... change input parameters during each
+// step of the computation").
+func (e *Engine) SetParameter(id, name string, v ocr.Value) error {
+	in, ok := e.instances[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownInstance, id)
+	}
+	if in.Status == InstanceDone || in.Status == InstanceFailed {
+		return fmt.Errorf("%w: instance %s is %s", ErrBadState, id, in.Status)
+	}
+	in.root.Whiteboard[name] = v
+	e.touch(in.root)
+	e.persist(in)
+	return nil
+}
+
+// PauseAll stops dispatching across all instances (server-level suspend,
+// used during planned outages).
+func (e *Engine) PauseAll() { e.paused = true }
+
+// ResumeAll re-enables dispatching.
+func (e *Engine) ResumeAll() {
+	e.paused = false
+	e.Pump()
+}
+
+// killRunning kills every running job of an instance; the completions
+// with ErrJobKilled requeue the tasks.
+func (e *Engine) killRunning(in *Instance) {
+	ids := make([]string, 0, len(e.running))
+	for id, ref := range e.running {
+		if ref.inst == in {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		ref := e.running[id]
+		e.opts.Executor.Kill(cluster.JobID(id), ref.ts.Node)
+	}
+}
+
+// dropQueued removes all queued activities of an instance.
+func (e *Engine) dropQueued(in *Instance) {
+	ids := make([]string, 0, len(e.queued))
+	for id, ref := range e.queued {
+		if ref.inst == in {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		e.queue.Remove(id)
+		delete(e.queued, id)
+	}
+}
+
+// failInstance aborts everything the instance still has in flight.
+func (e *Engine) failInstance(in *Instance, reason string) {
+	if in.Status == InstanceFailed || in.Status == InstanceDone {
+		return
+	}
+	in.Status = InstanceFailed
+	in.FailureReason = reason
+	in.Ended = e.now()
+	e.dropQueued(in)
+	e.dropWaiting(in)
+	e.killRunning(in)
+	e.emit(Event{Kind: EvInstanceFailed, Instance: in.ID, Detail: reason})
+	e.persist(in)
+	e.archive(in)
+	if e.opts.OnInstanceDone != nil {
+		e.opts.OnInstanceDone(in)
+	}
+}

@@ -1,0 +1,209 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"bioopera/internal/cluster"
+	"bioopera/internal/ocr"
+	"bioopera/internal/sched"
+)
+
+// This file is the dispatcher (§3.2): it takes activities from the
+// activity queue, asks the scheduling policy for a node, and launches them
+// through the cluster's program execution clients. Completions flow back
+// through HandleCompletion, which also implements the recovery semantics
+// for node failures.
+
+// Pump dispatches as many queued activities as the cluster can take.
+// Drivers call it after anything that may have freed capacity.
+func (e *Engine) Pump() {
+	if e.paused {
+		return
+	}
+	for {
+		nodes := e.opts.Executor.Nodes()
+		job, node, ok := e.queue.PopWhere(func(j sched.Job) (string, bool) {
+			ref := e.queued[j.ID]
+			if ref == nil || ref.inst.Status != InstanceRunning {
+				return "", false // suspended instances stay queued
+			}
+			return e.policy.Pick(j, nodes)
+		})
+		if !ok {
+			return
+		}
+		ref := e.queued[job.ID]
+		delete(e.queued, job.ID)
+		var err error
+		if pr, ok := e.opts.Executor.(ProgramRunner); ok {
+			err = pr.StartWithRun(cluster.JobID(job.ID), node, job.Cost, ref.inst.Nice, e.programThunk(ref, node))
+		} else {
+			err = e.opts.Executor.Start(cluster.JobID(job.ID), node, job.Cost, ref.inst.Nice)
+		}
+		if err != nil {
+			// Capacity changed under us; requeue and stop.
+			e.queue.Push(job)
+			e.queued[job.ID] = ref
+			return
+		}
+		ref.ts.Status = TaskRunning
+		ref.ts.Node = node
+		ref.ts.StartedAt = e.now()
+		e.running[job.ID] = ref
+		e.touch(ref.sc)
+		e.emit(Event{Kind: EvTaskDispatched, Instance: ref.inst.ID, Scope: ref.sc.ID,
+			Task: ref.ts.Name, Node: node})
+		e.persist(ref.inst)
+	}
+}
+
+// HandleCompletion receives a job outcome from the cluster. Infrastructure
+// failures (node crash, kill) requeue the activity without consuming
+// retries — checkpointing is at activity granularity, so only the failed
+// activity's work is lost (§3.3). Program successes run the external
+// binding to produce outputs.
+func (e *Engine) HandleCompletion(c cluster.Completion) {
+	ref, ok := e.running[string(c.Job)]
+	if !ok {
+		// Stale completion from before a server crash: the result is
+		// discarded (the activity was already requeued), but the CPU
+		// slot it occupied is now free.
+		e.Pump()
+		return
+	}
+	delete(e.running, string(c.Job))
+	in, sc, ts := ref.inst, ref.sc, ref.ts
+	if sc.defunct {
+		// The scope was torn down by a sphere abort; the slot is
+		// free, the result is void.
+		e.Pump()
+		return
+	}
+	t := sc.Proc.Task(ts.Name)
+	ts.CPUTime += c.CPUTime
+	in.CPU += c.CPUTime
+	e.touch(sc)
+
+	if in.Status == InstanceFailed || in.Status == InstanceDone {
+		return
+	}
+
+	if c.Err != nil {
+		// Infrastructure failure: the PEC reported a crash, or the
+		// job was killed (suspend/migration). Requeue unconditionally.
+		in.Failures++
+		in.Retries++
+		ts.Status = TaskReady
+		ts.Node = ""
+		e.emit(Event{Kind: EvTaskRetried, Instance: in.ID, Scope: sc.ID, Task: ts.Name,
+			Node: c.Node, Detail: fmt.Sprintf("infrastructure: %v", c.Err)})
+		e.requeue(in, sc, t, ts)
+		e.Pump()
+		return
+	}
+
+	// Program outcome: either the executor ran the program on the node
+	// (local pool) or the engine runs it now (simulated cluster).
+	outputs, progErr := c.Outputs, c.ProgramErr
+	if outputs == nil && progErr == nil {
+		prog, ok := e.opts.Library.Lookup(t.Program)
+		if !ok {
+			e.failInstance(in, fmt.Sprintf("program %q vanished from the library", t.Program))
+			return
+		}
+		outputs, progErr = prog.Run(ProgramCtx{
+			Instance: in.ID,
+			Task:     ts.Name,
+			Attempt:  ts.Attempts,
+			Node:     c.Node,
+		}, ts.Inputs)
+	}
+	if progErr != nil {
+		e.handleProgramFailure(in, sc, t, ts, progErr)
+		e.Pump()
+		return
+	}
+	in.Activities++
+	e.finishTask(in, sc, t, ts, outputs)
+	e.Pump()
+}
+
+// ProgramRunner is implemented by executors that execute the external
+// binding themselves (on a worker) instead of letting the engine run it at
+// completion time.
+type ProgramRunner interface {
+	// StartWithRun launches a job whose program is the given thunk.
+	StartWithRun(id cluster.JobID, node string, cost time.Duration, nice bool,
+		run func() (map[string]ocr.Value, error)) error
+}
+
+// programThunk packages a task's external binding for node-side execution.
+func (e *Engine) programThunk(ref *queuedRef, node string) func() (map[string]ocr.Value, error) {
+	t := ref.sc.Proc.Task(ref.ts.Name)
+	prog, ok := e.opts.Library.Lookup(t.Program)
+	if !ok {
+		name := t.Program
+		return func() (map[string]ocr.Value, error) {
+			return nil, fmt.Errorf("program %q not registered", name)
+		}
+	}
+	ctx := ProgramCtx{
+		Instance: ref.inst.ID,
+		Task:     ref.ts.Name,
+		Attempt:  ref.ts.Attempts,
+		Node:     node,
+	}
+	inputs := ref.ts.Inputs
+	return func() (map[string]ocr.Value, error) { return prog.Run(ctx, inputs) }
+}
+
+// Migrate applies a kill-and-restart migration policy once: running jobs
+// on overloaded nodes are killed and go back through the queue, where the
+// placement policy sends them to lightly loaded nodes (§5.4's discussed
+// strategy). It returns how many jobs were killed.
+func (e *Engine) Migrate(p sched.MigrationPolicy) int {
+	ids := make([]string, 0, len(e.running))
+	for id := range e.running {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	cands := make([]sched.Candidate, 0, len(ids))
+	for _, id := range ids {
+		ref := e.running[id]
+		if ref.inst.Status != InstanceRunning {
+			continue
+		}
+		cands = append(cands, sched.Candidate{Job: id, Node: ref.ts.Node})
+	}
+	kills := p.Decide(cands, e.opts.Executor.Nodes())
+	for _, k := range kills {
+		ref := e.running[k.Job]
+		if ref == nil {
+			continue
+		}
+		e.opts.Executor.Kill(cluster.JobID(k.Job), k.Node)
+	}
+	return len(kills)
+}
+
+// Crash simulates a BioOpera server crash (§5.4 event 3): all volatile
+// state vanishes. The store survives; Recover rebuilds from it. Jobs still
+// running on the cluster become orphans whose completions are ignored.
+func (e *Engine) Crash() {
+	e.instances = make(map[string]*Instance)
+	e.order = nil
+	e.queue = sched.Queue{}
+	e.queued = make(map[string]*queuedRef)
+	e.running = make(map[string]*queuedRef)
+	e.waiting = make(map[string][]*queuedRef)
+	e.signals = make(map[string][]map[string]ocr.Value)
+}
+
+// IsInfraError reports whether an error is an infrastructure failure (as
+// opposed to a program failure).
+func IsInfraError(err error) bool {
+	return errors.Is(err, cluster.ErrNodeFailed) || errors.Is(err, cluster.ErrJobKilled)
+}

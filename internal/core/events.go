@@ -1,0 +1,130 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"bioopera/internal/ocr"
+)
+
+// This file implements event handling (§3.1): activities declared with
+// AWAIT "name" complete when an external signal arrives instead of calling
+// a program. The paper uses this for user interaction with running
+// computations — checking intermediate results, approving continuations
+// ("the monitor allows users to actively influence the computation").
+//
+// Signals are buffered: a signal sent before any task awaits it is
+// delivered to the next awaiting task, so producers and consumers need not
+// race.
+
+// eventKey identifies a (instance, event) wait point.
+func eventKey(instanceID, event string) string { return instanceID + "|" + event }
+
+// awaitEvent parks an activated AWAIT activity until its signal arrives.
+func (e *Engine) awaitEvent(in *Instance, sc *scope, t *ocr.Task, ts *taskState) {
+	key := eventKey(in.ID, t.Await)
+	// A buffered signal satisfies the wait immediately.
+	if queue := e.signals[key]; len(queue) > 0 {
+		payload := queue[0]
+		e.signals[key] = queue[1:]
+		if len(e.signals[key]) == 0 {
+			delete(e.signals, key)
+		}
+		ts.Status = TaskRunning
+		e.touch(sc)
+		e.finishEventTask(in, sc, t, ts, payload)
+		return
+	}
+	ts.Status = TaskRunning
+	e.touch(sc)
+	e.waiting[key] = append(e.waiting[key], &queuedRef{inst: in, sc: sc, ts: ts})
+	e.emit(Event{Kind: EvTaskAwaiting, Instance: in.ID, Scope: sc.ID, Task: t.Name, Detail: t.Await})
+	e.persist(in)
+}
+
+// finishEventTask completes an AWAIT task with the signal payload as its
+// outputs.
+func (e *Engine) finishEventTask(in *Instance, sc *scope, t *ocr.Task, ts *taskState, payload map[string]ocr.Value) {
+	outputs := make(map[string]ocr.Value, len(payload))
+	for k, v := range payload {
+		outputs[k] = v
+	}
+	in.Activities++
+	e.finishTask(in, sc, t, ts, outputs)
+}
+
+// Signal delivers an external event to an instance. The first task
+// awaiting the event (in activation order) completes with the payload as
+// its outputs; if none is waiting, the signal is buffered for the next
+// AWAIT on that event. Signalling a finished instance is an error.
+func (e *Engine) Signal(instanceID, event string, payload map[string]ocr.Value) error {
+	in, ok := e.instances[instanceID]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownInstance, instanceID)
+	}
+	if in.Status == InstanceDone || in.Status == InstanceFailed {
+		return fmt.Errorf("%w: instance %s is %s", ErrBadState, instanceID, in.Status)
+	}
+	e.emit(Event{Kind: EvSignal, Instance: instanceID, Detail: event})
+	key := eventKey(instanceID, event)
+	waiters := e.waiting[key]
+	// Skip waiters whose scopes were torn down by a sphere abort.
+	for len(waiters) > 0 && waiters[0].sc.defunct {
+		waiters = waiters[1:]
+	}
+	if len(waiters) == 0 {
+		delete(e.waiting, key)
+		e.signals[key] = append(e.signals[key], payload)
+		return nil
+	}
+	ref := waiters[0]
+	if len(waiters) > 1 {
+		e.waiting[key] = waiters[1:]
+	} else {
+		delete(e.waiting, key)
+	}
+	t := ref.sc.Proc.Task(ref.ts.Name)
+	e.finishEventTask(in, ref.sc, t, ref.ts, payload)
+	e.Pump()
+	return nil
+}
+
+// Awaiting lists the event names an instance is currently blocked on,
+// sorted.
+func (e *Engine) Awaiting(instanceID string) []string {
+	var out []string
+	prefix := instanceID + "|"
+	for key, refs := range e.waiting {
+		if len(key) <= len(prefix) || key[:len(prefix)] != prefix {
+			continue
+		}
+		live := false
+		for _, r := range refs {
+			if !r.sc.defunct {
+				live = true
+				break
+			}
+		}
+		if live {
+			out = append(out, key[len(prefix):])
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// dropWaiting removes an instance's waiters and buffered signals (on
+// abort/failure).
+func (e *Engine) dropWaiting(in *Instance) {
+	prefix := in.ID + "|"
+	for key := range e.waiting {
+		if len(key) > len(prefix) && key[:len(prefix)] == prefix {
+			delete(e.waiting, key)
+		}
+	}
+	for key := range e.signals {
+		if len(key) > len(prefix) && key[:len(prefix)] == prefix {
+			delete(e.signals, key)
+		}
+	}
+}

@@ -1,0 +1,215 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"bioopera/internal/ocr"
+	"bioopera/internal/sim"
+	"bioopera/internal/store"
+)
+
+// approvalSrc models the paper's human-in-the-loop scenario: compute,
+// wait for the scientist to approve the intermediate result, then publish.
+const approvalSrc = `
+PROCESS Approval {
+  INPUT x;
+  OUTPUT published;
+  ACTIVITY Compute {
+    CALL test.double(x = x);
+    OUT out;
+    MAP out -> intermediate;
+  }
+  ACTIVITY Review {
+    AWAIT "approved";
+    OUT verdict, correction;
+    MAP verdict -> verdict, correction -> correction;
+  }
+  ACTIVITY Publish {
+    CALL test.echo(x = [intermediate, verdict, correction]);
+    OUT out;
+    MAP out -> published;
+  }
+  Compute -> Review;
+  Review -> Publish;
+}
+`
+
+func TestAwaitSignal(t *testing.T) {
+	rt := newRuntime(t, SimConfig{})
+	register(t, rt, approvalSrc)
+	id := start(t, rt, "Approval", map[string]ocr.Value{"x": ocr.Num(21)})
+
+	// After Compute finishes, the instance must be blocked on the event.
+	var awaiting []string
+	rt.Sim.At(sim.Time(5*time.Second), func(sim.Time) {
+		awaiting = rt.Engine.Awaiting(id)
+		err := rt.Engine.Signal(id, "approved", map[string]ocr.Value{
+			"verdict":    ocr.Str("ok"),
+			"correction": ocr.Num(0),
+		})
+		if err != nil {
+			t.Errorf("Signal: %v", err)
+		}
+	})
+	rt.Run()
+	if len(awaiting) != 1 || awaiting[0] != "approved" {
+		t.Fatalf("Awaiting = %v", awaiting)
+	}
+	in := finished(t, rt, id)
+	pub := in.Outputs["published"]
+	if pub.Len() != 3 || pub.At(0).AsNum() != 42 || pub.At(1).AsStr() != "ok" {
+		t.Fatalf("published = %v", pub)
+	}
+}
+
+func TestSignalBeforeAwaitIsBuffered(t *testing.T) {
+	rt := newRuntime(t, SimConfig{})
+	register(t, rt, approvalSrc)
+	id := start(t, rt, "Approval", map[string]ocr.Value{"x": ocr.Num(1)})
+	// Signal immediately — Compute (1s) has not finished, so nothing
+	// awaits yet; the signal must be buffered and consumed later.
+	if err := rt.Engine.Signal(id, "approved", map[string]ocr.Value{
+		"verdict": ocr.Str("pre-approved"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rt.Run()
+	in := finished(t, rt, id)
+	if in.Outputs["published"].At(1).AsStr() != "pre-approved" {
+		t.Fatalf("published = %v", in.Outputs["published"])
+	}
+}
+
+func TestSignalErrors(t *testing.T) {
+	rt := newRuntime(t, SimConfig{})
+	register(t, rt, approvalSrc)
+	if err := rt.Engine.Signal("ghost", "e", nil); !errors.Is(err, ErrUnknownInstance) {
+		t.Fatalf("err = %v", err)
+	}
+	id := start(t, rt, "Approval", map[string]ocr.Value{"x": ocr.Num(1)})
+	rt.Sim.At(sim.Time(5*time.Second), func(sim.Time) {
+		rt.Engine.Signal(id, "approved", nil)
+	})
+	rt.Run()
+	finished(t, rt, id)
+	if err := rt.Engine.Signal(id, "approved", nil); !errors.Is(err, ErrBadState) {
+		t.Fatalf("signal to done instance = %v", err)
+	}
+}
+
+func TestAwaitSurvivesServerCrash(t *testing.T) {
+	st := store.NewMem()
+	rt := newRuntime(t, SimConfig{Store: st})
+	register(t, rt, approvalSrc)
+	id := start(t, rt, "Approval", map[string]ocr.Value{"x": ocr.Num(5)})
+	rt.Sim.At(sim.Time(3*time.Second), func(sim.Time) {
+		// Compute done, Review awaiting. Crash the server.
+		rt.Engine.Crash()
+		if _, err := rt.Engine.Recover(); err != nil {
+			t.Errorf("recover: %v", err)
+		}
+		// The wait must have been re-armed from the store.
+		if got := rt.Engine.Awaiting(id); len(got) != 1 || got[0] != "approved" {
+			t.Errorf("Awaiting after recovery = %v", got)
+		}
+	})
+	rt.Sim.At(sim.Time(6*time.Second), func(sim.Time) {
+		if err := rt.Engine.Signal(id, "approved", map[string]ocr.Value{
+			"verdict": ocr.Str("post-crash"),
+		}); err != nil {
+			t.Errorf("signal: %v", err)
+		}
+	})
+	rt.Run()
+	in := finished(t, rt, id)
+	if in.Outputs["published"].At(0).AsNum() != 10 {
+		t.Fatalf("published = %v (recomputed wrongly?)", in.Outputs["published"])
+	}
+	if in.Outputs["published"].At(1).AsStr() != "post-crash" {
+		t.Fatalf("published = %v", in.Outputs["published"])
+	}
+}
+
+func TestAwaitRoundTripsThroughOCR(t *testing.T) {
+	p, err := ocr.ParseProcess(approvalSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Task("Review").Await; got != "approved" {
+		t.Fatalf("Await = %q", got)
+	}
+	text := ocr.Format(p)
+	p2, err := ocr.ParseProcess(text)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, text)
+	}
+	if ocr.Format(p2) != text {
+		t.Fatal("round trip unstable")
+	}
+	// Validation rejects CALL+AWAIT and neither.
+	bad, _ := ocr.ParseProcess(`PROCESS P { ACTIVITY A { AWAIT "e"; CALL x.y(); } }`)
+	if err := bad.Validate(); err == nil {
+		t.Fatal("CALL+AWAIT accepted")
+	}
+	bad2, _ := ocr.ParseProcess(`PROCESS P { ACTIVITY A { OUT r; } }`)
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("activity without CALL or AWAIT accepted")
+	}
+}
+
+func TestAwaitInsideSphereAbort(t *testing.T) {
+	// An AWAIT task parked inside a sphere that aborts must not leak:
+	// the re-run sphere awaits again, and one signal satisfies only the
+	// live wait.
+	src := `
+PROCESS GateSphere {
+  OUTPUT result;
+  BLOCK Tx ATOMIC {
+    MAP done -> result;
+    RETRY 1;
+    OUTPUT done;
+    ACTIVITY Gate {
+      AWAIT "go";
+      OUT v;
+      MAP v -> gate_v;
+    }
+    ACTIVITY Work {
+      CALL gate.failonce();
+      OUT out;
+      MAP out -> done;
+    }
+    Gate -> Work;
+  }
+}
+`
+	lib := testLibrary(t)
+	failed := false
+	lib.RegisterFunc("gate.failonce", func(_ ProgramCtx, _ map[string]ocr.Value) (map[string]ocr.Value, error) {
+		if !failed {
+			failed = true
+			return nil, errors.New("first sphere attempt fails")
+		}
+		return map[string]ocr.Value{"out": ocr.Str("recovered")}, nil
+	})
+	rt := newRuntime(t, SimConfig{Library: lib})
+	register(t, rt, src)
+	id := start(t, rt, "GateSphere", nil)
+	// First signal lets attempt 1 proceed; Work fails once → sphere
+	// aborts → Gate re-awaits → second signal lets attempt 2 finish.
+	rt.Sim.At(sim.Time(time.Second), func(sim.Time) {
+		rt.Engine.Signal(id, "go", map[string]ocr.Value{"v": ocr.Int(1)})
+	})
+	rt.Sim.At(sim.Time(10*time.Second), func(sim.Time) {
+		rt.Engine.Signal(id, "go", map[string]ocr.Value{"v": ocr.Int(2)})
+	})
+	rt.Run()
+	in := finished(t, rt, id)
+	if in.Outputs["result"].AsStr() != "recovered" {
+		t.Fatalf("result = %v", in.Outputs["result"])
+	}
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"bioopera/internal/ocr"
+	"bioopera/internal/sim"
+)
+
+// TestFailoverMidRun exercises the §6 backup-server architecture: the
+// primary engine dies mid-computation, a standby over the same store
+// assumes control, and the process finishes with correct results.
+func TestFailoverMidRun(t *testing.T) {
+	rt := newRuntime(t, SimConfig{})
+	register(t, rt, parallelSrc)
+	var xs []ocr.Value
+	for i := 0; i < 12; i++ {
+		xs = append(xs, ocr.Num(float64(i)))
+	}
+	id := start(t, rt, "Par", map[string]ocr.Value{"xs": ocr.List(xs...)})
+
+	var standby *Engine
+	rt.Sim.At(sim.Time(1300*time.Millisecond), func(sim.Time) {
+		var err error
+		standby, err = rt.Failover()
+		if err != nil {
+			t.Errorf("failover: %v", err)
+		}
+	})
+	rt.Run()
+	if standby == nil {
+		t.Fatal("failover never ran")
+	}
+	in, ok := standby.Instance(id)
+	if !ok {
+		t.Fatal("standby does not know the instance")
+	}
+	if in.Status != InstanceDone {
+		t.Fatalf("instance %s (%s)", in.Status, in.FailureReason)
+	}
+	got := in.Outputs["doubled"]
+	for i := 0; i < 12; i++ {
+		if got.At(i).AsNum() != float64(2*i) {
+			t.Fatalf("results after failover = %v", got)
+		}
+	}
+	// Completed work was not redone wholesale: at most the in-flight
+	// jobs at failover time repeat.
+	if in.Activities > 12+4 {
+		t.Fatalf("too many re-runs after failover: %d", in.Activities)
+	}
+	// rt.Engine now points at the standby.
+	if rt.Engine != standby {
+		t.Fatal("runtime engine not swapped")
+	}
+}
+
+// TestFailoverChain survives repeated failovers.
+func TestFailoverChain(t *testing.T) {
+	rt := newRuntime(t, SimConfig{})
+	register(t, rt, parallelSrc)
+	var xs []ocr.Value
+	for i := 0; i < 16; i++ {
+		xs = append(xs, ocr.Num(float64(i)))
+	}
+	id := start(t, rt, "Par", map[string]ocr.Value{"xs": ocr.List(xs...)})
+	for _, at := range []time.Duration{800 * time.Millisecond, 1900 * time.Millisecond, 3100 * time.Millisecond} {
+		rt.Sim.At(sim.Time(at), func(sim.Time) {
+			if _, err := rt.Failover(); err != nil {
+				t.Errorf("failover: %v", err)
+			}
+		})
+	}
+	rt.Run()
+	in, ok := rt.Engine.Instance(id)
+	if !ok {
+		t.Fatal("instance lost across failovers")
+	}
+	if in.Status != InstanceDone {
+		t.Fatalf("instance %s (%s)", in.Status, in.FailureReason)
+	}
+	for i := 0; i < 16; i++ {
+		if in.Outputs["doubled"].At(i).AsNum() != float64(2*i) {
+			t.Fatalf("results corrupted: %v", in.Outputs["doubled"])
+		}
+	}
+}

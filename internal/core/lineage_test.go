@@ -1,0 +1,99 @@
+package core
+
+import (
+	"testing"
+
+	"bioopera/internal/ocr"
+)
+
+const lineageSrc = `
+PROCESS Pipe {
+  INPUT raw;
+  OUTPUT final;
+  ACTIVITY Stage1 {
+    CALL test.double(x = raw);
+    OUT out;
+    MAP out -> mid;
+  }
+  ACTIVITY Stage2 {
+    CALL test.double(x = mid);
+    OUT out;
+    MAP out -> final;
+  }
+  ACTIVITY Side {
+    CALL test.constant();
+    OUT out;
+    MAP out -> sidecar;
+  }
+  Stage1 -> Stage2;
+  Stage1 -> Side;
+}
+`
+
+func TestLineage(t *testing.T) {
+	rt := newRuntime(t, SimConfig{})
+	register(t, rt, lineageSrc)
+	id := start(t, rt, "Pipe", map[string]ocr.Value{"raw": ocr.Num(2)})
+	rt.Run()
+	finished(t, rt, id)
+
+	lg, err := rt.Engine.Lineage(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := lg.Producer("mid"); got != "::Stage1" {
+		t.Fatalf("Producer(mid) = %q", got)
+	}
+	if got := lg.Producer("final"); got != "::Stage2" {
+		t.Fatalf("Producer(final) = %q", got)
+	}
+	if got := lg.Producer("raw"); got != "" {
+		t.Fatalf("Producer(raw) = %q, want \"\" (process input)", got)
+	}
+
+	// Changing raw affects Stage1 and transitively Stage2, but not the
+	// constant Side activity.
+	aff := lg.Affected("raw")
+	want := []string{"::Stage1", "::Stage2"}
+	if len(aff) != 2 || aff[0] != want[0] || aff[1] != want[1] {
+		t.Fatalf("Affected(raw) = %v, want %v", aff, want)
+	}
+
+	// Changing mid affects only Stage2.
+	aff = lg.Affected("mid")
+	if len(aff) != 1 || aff[0] != "::Stage2" {
+		t.Fatalf("Affected(mid) = %v", aff)
+	}
+
+	// Changing the algorithm test.double requires both stages, and
+	// nothing else downstream of them that doesn't exist.
+	aff = lg.AffectedByProgram("test.double")
+	if len(aff) != 2 || aff[0] != "::Stage1" || aff[1] != "::Stage2" {
+		t.Fatalf("AffectedByProgram = %v", aff)
+	}
+	// An algorithm used by a dead-end task.
+	aff = lg.AffectedByProgram("test.constant")
+	if len(aff) != 1 || aff[0] != "::Side" {
+		t.Fatalf("AffectedByProgram(constant) = %v", aff)
+	}
+
+	if _, err := rt.Engine.Lineage("nope"); err == nil {
+		t.Fatal("lineage of unknown instance")
+	}
+}
+
+func TestLineageSkipsDeadTasks(t *testing.T) {
+	rt := newRuntime(t, SimConfig{})
+	register(t, rt, branchSrc)
+	id := start(t, rt, "Branch", map[string]ocr.Value{"queue_file": ocr.Str("q")})
+	rt.Run()
+	finished(t, rt, id)
+	lg, err := rt.Engine.Lineage(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Generate was dead: it must not appear as a producer.
+	if got := lg.Producer("qf"); got != "::UserIn" {
+		t.Fatalf("Producer(qf) = %q, want ::UserIn (Generate was dead)", got)
+	}
+}

@@ -1,0 +1,269 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"bioopera/internal/cluster"
+	"bioopera/internal/ocr"
+	"bioopera/internal/sched"
+	"bioopera/internal/sim"
+	"bioopera/internal/store"
+)
+
+// LocalRuntime drives the same engine in real time: activities execute on
+// a pool of worker goroutines ("local nodes", one CPU slot each) and their
+// external bindings really run. The runnable examples use it; the
+// experiments use the deterministic SimRuntime instead.
+//
+// All engine access is serialized by an internal mutex; use Do for
+// arbitrary engine calls and the convenience wrappers for the common ones.
+type LocalRuntime struct {
+	Store store.Store
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	engine *Engine
+	exec   *localExec
+	start  time.Time
+	closed bool
+}
+
+// LocalConfig configures a LocalRuntime.
+type LocalConfig struct {
+	// Workers is the number of single-slot local nodes (default:
+	// GOMAXPROCS).
+	Workers int
+	// Store defaults to an in-memory store.
+	Store store.Store
+	// Library is required.
+	Library *Library
+	// Policy defaults to LeastLoaded.
+	Policy sched.Policy
+	// OnEvent observes engine events (called with the runtime lock
+	// held; must not call back into the runtime).
+	OnEvent func(Event)
+}
+
+// NewLocalRuntime builds the pool and engine.
+func NewLocalRuntime(cfg LocalConfig) (*LocalRuntime, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Store == nil {
+		cfg.Store = store.NewMem()
+	}
+	if cfg.Library == nil {
+		return nil, fmt.Errorf("core: LocalConfig needs a Library")
+	}
+	rt := &LocalRuntime{Store: cfg.Store, start: time.Now()}
+	rt.cond = sync.NewCond(&rt.mu)
+	rt.exec = newLocalExec(rt, cfg.Workers)
+	eng, err := New(Options{
+		Store:    cfg.Store,
+		Library:  cfg.Library,
+		Executor: rt.exec,
+		Clock:    ClockFunc(func() sim.Time { return sim.Time(time.Since(rt.start)) }),
+		Policy:   cfg.Policy,
+		OnEvent:  cfg.OnEvent,
+		OnInstanceDone: func(*Instance) {
+			rt.cond.Broadcast()
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	rt.engine = eng
+	return rt, nil
+}
+
+// Do runs f with exclusive access to the engine.
+func (rt *LocalRuntime) Do(f func(e *Engine)) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	f(rt.engine)
+}
+
+// RegisterTemplateSource parses and registers OCR templates.
+func (rt *LocalRuntime) RegisterTemplateSource(src string) error {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.engine.RegisterTemplateSource(src)
+}
+
+// StartProcess launches an instance.
+func (rt *LocalRuntime) StartProcess(template string, inputs map[string]ocr.Value, opts StartOptions) (string, error) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.engine.StartProcess(template, inputs, opts)
+}
+
+// InstanceStatus returns the current status and outputs of an instance.
+func (rt *LocalRuntime) InstanceStatus(id string) (InstanceStatus, map[string]ocr.Value, error) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	in, ok := rt.engine.Instance(id)
+	if !ok {
+		return 0, nil, fmt.Errorf("%w: %s", ErrUnknownInstance, id)
+	}
+	return in.Status, in.Outputs, nil
+}
+
+// Wait blocks until the instance reaches Done or Failed, or the timeout
+// elapses. It returns the instance.
+func (rt *LocalRuntime) Wait(id string, timeout time.Duration) (*Instance, error) {
+	deadline := time.Now().Add(timeout)
+	timer := time.AfterFunc(timeout, func() {
+		rt.mu.Lock()
+		rt.cond.Broadcast()
+		rt.mu.Unlock()
+	})
+	defer timer.Stop()
+
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	for {
+		in, ok := rt.engine.Instance(id)
+		if !ok {
+			return nil, fmt.Errorf("%w: %s", ErrUnknownInstance, id)
+		}
+		if in.Status == InstanceDone || in.Status == InstanceFailed {
+			return in, nil
+		}
+		if time.Now().After(deadline) {
+			return in, fmt.Errorf("core: instance %s still %s after %v", id, in.Status, timeout)
+		}
+		rt.cond.Wait()
+	}
+}
+
+// Close stops accepting work. Running workers drain.
+func (rt *LocalRuntime) Close() {
+	rt.mu.Lock()
+	rt.closed = true
+	rt.mu.Unlock()
+}
+
+// localExec is the worker pool behind LocalRuntime. One slot per "node".
+// Dispatches carry a sequence token so a stale worker (whose job was
+// killed and possibly re-dispatched) can never free the wrong slot or
+// deliver a stale result.
+type localExec struct {
+	rt    *LocalRuntime
+	names []string
+	seq   uint64
+	busy  map[string]uint64        // node → dispatch seq
+	live  map[cluster.JobID]uint64 // job → dispatch seq whose result is wanted
+}
+
+func newLocalExec(rt *LocalRuntime, workers int) *localExec {
+	ex := &localExec{
+		rt:   rt,
+		busy: make(map[string]uint64, workers),
+		live: make(map[cluster.JobID]uint64),
+	}
+	for i := 0; i < workers; i++ {
+		ex.names = append(ex.names, fmt.Sprintf("local-%02d", i))
+	}
+	return ex
+}
+
+// Nodes implements Executor. Caller holds the runtime lock (the engine
+// only calls it from inside locked sections).
+func (ex *localExec) Nodes() []cluster.NodeView {
+	out := make([]cluster.NodeView, 0, len(ex.names))
+	for _, n := range ex.names {
+		running := 0
+		if _, ok := ex.busy[n]; ok {
+			running = 1
+		}
+		out = append(out, cluster.NodeView{
+			Name: n, OS: runtime.GOOS, Up: true, CPUs: 1,
+			Speed: 1, Running: running,
+		})
+	}
+	return out
+}
+
+// Start implements Executor; the engine always uses StartWithRun on this
+// executor, but Start is kept for interface completeness.
+func (ex *localExec) Start(id cluster.JobID, node string, cost time.Duration, nice bool) error {
+	return ex.StartWithRun(id, node, cost, nice, func() (map[string]ocr.Value, error) {
+		return nil, nil
+	})
+}
+
+// StartWithRun implements ProgramRunner: the thunk executes on a fresh
+// goroutine; the completion is delivered back under the runtime lock.
+func (ex *localExec) StartWithRun(id cluster.JobID, node string, _ time.Duration, _ bool,
+	run func() (map[string]ocr.Value, error)) error {
+	if ex.rt.closed {
+		return fmt.Errorf("core: local runtime closed")
+	}
+	if _, taken := ex.busy[node]; taken {
+		return cluster.ErrNoFreeCPU
+	}
+	ex.seq++
+	mySeq := ex.seq
+	ex.busy[node] = mySeq
+	ex.live[id] = mySeq
+	started := time.Since(ex.rt.start)
+	go func() {
+		t0 := time.Now()
+		outputs, err := run()
+		cpu := time.Since(t0)
+
+		ex.rt.mu.Lock()
+		defer ex.rt.mu.Unlock()
+		if ex.busy[node] == mySeq {
+			delete(ex.busy, node)
+		}
+		if ex.live[id] != mySeq {
+			return // killed (or superseded); result discarded
+		}
+		delete(ex.live, id)
+		c := cluster.Completion{
+			Job:     id,
+			Node:    node,
+			Start:   sim.Time(started),
+			End:     sim.Time(time.Since(ex.rt.start)),
+			CPUTime: cpu,
+			Outputs: outputs,
+		}
+		if err != nil {
+			c.ProgramErr = err
+			c.Outputs = nil
+		}
+		if c.Outputs == nil && c.ProgramErr == nil {
+			c.Outputs = map[string]ocr.Value{}
+		}
+		ex.rt.engine.HandleCompletion(c)
+		ex.rt.cond.Broadcast()
+	}()
+	return nil
+}
+
+// Kill implements Executor: the goroutine cannot be interrupted, but its
+// result is discarded and the engine immediately sees the job as killed.
+func (ex *localExec) Kill(id cluster.JobID, node string) error {
+	if _, ok := ex.live[id]; !ok {
+		return fmt.Errorf("core: job %s not running", id)
+	}
+	delete(ex.live, id)
+	// Deliver the kill asynchronously so callers inside engine
+	// navigation see consistent state, mirroring the simulated cluster.
+	go func() {
+		ex.rt.mu.Lock()
+		defer ex.rt.mu.Unlock()
+		ex.rt.engine.HandleCompletion(cluster.Completion{
+			Job:  id,
+			Node: node,
+			End:  sim.Time(time.Since(ex.rt.start)),
+			Err:  cluster.ErrJobKilled,
+		})
+		ex.rt.cond.Broadcast()
+	}()
+	return nil
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"bioopera/internal/ocr"
+)
+
+func newLocal(t *testing.T, workers int) *LocalRuntime {
+	t.Helper()
+	rt, err := NewLocalRuntime(LocalConfig{Workers: workers, Library: testLibrary(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	return rt
+}
+
+func TestLocalLinear(t *testing.T) {
+	rt := newLocal(t, 2)
+	if err := rt.RegisterTemplateSource(linearSrc); err != nil {
+		t.Fatal(err)
+	}
+	id, err := rt.StartProcess("Linear", map[string]ocr.Value{"a": ocr.Num(3), "b": ocr.Num(4)}, StartOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := rt.Wait(id, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Status != InstanceDone || in.Outputs["result"].AsNum() != 14 {
+		t.Fatalf("instance %s, result %v", in.Status, in.Outputs["result"])
+	}
+	status, outputs, err := rt.InstanceStatus(id)
+	if err != nil || status != InstanceDone || outputs["result"].AsNum() != 14 {
+		t.Fatalf("InstanceStatus = %v %v %v", status, outputs, err)
+	}
+}
+
+func TestLocalParallelReallyParallel(t *testing.T) {
+	lib := NewLibrary()
+	lib.Register(Program{
+		Name: "test.sleep",
+		Run: func(_ ProgramCtx, args map[string]ocr.Value) (map[string]ocr.Value, error) {
+			time.Sleep(100 * time.Millisecond)
+			return map[string]ocr.Value{"out": args["x"]}, nil
+		},
+	})
+	rt, err := NewLocalRuntime(LocalConfig{Workers: 4, Library: lib})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	if err := rt.RegisterTemplateSource(`
+PROCESS Sleepy {
+  INPUT xs;
+  OUTPUT done;
+  BLOCK Fan PARALLEL OVER xs AS x {
+    MAP results -> done;
+    OUTPUT r;
+    ACTIVITY S { CALL test.sleep(x = x); OUT out; MAP out -> r; }
+  }
+}`); err != nil {
+		t.Fatal(err)
+	}
+	var xs []ocr.Value
+	for i := 0; i < 8; i++ {
+		xs = append(xs, ocr.Int(i))
+	}
+	start := time.Now()
+	id, err := rt.StartProcess("Sleepy", map[string]ocr.Value{"xs": ocr.List(xs...)}, StartOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := rt.Wait(id, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if in.Status != InstanceDone {
+		t.Fatalf("instance %s (%s)", in.Status, in.FailureReason)
+	}
+	// 8 × 100ms on 4 workers ≈ 200ms; serial would be 800ms.
+	if elapsed > 700*time.Millisecond {
+		t.Fatalf("took %v — not parallel", elapsed)
+	}
+	if in.Outputs["done"].Len() != 8 {
+		t.Fatalf("results = %v", in.Outputs["done"])
+	}
+	for i := 0; i < 8; i++ {
+		if in.Outputs["done"].At(i).AsInt() != i {
+			t.Fatalf("result order broken: %v", in.Outputs["done"])
+		}
+	}
+}
+
+func TestLocalRetries(t *testing.T) {
+	rt := newLocal(t, 2)
+	if err := rt.RegisterTemplateSource(`
+PROCESS Flaky {
+  OUTPUT r;
+  ACTIVITY F {
+    CALL test.flaky(until = 2);
+    OUT out;
+    MAP out -> r;
+    RETRY 3;
+  }
+}`); err != nil {
+		t.Fatal(err)
+	}
+	id, _ := rt.StartProcess("Flaky", nil, StartOptions{})
+	in, err := rt.Wait(id, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Status != InstanceDone || in.Outputs["r"].AsStr() != "recovered" {
+		t.Fatalf("instance %s outputs %v", in.Status, in.Outputs)
+	}
+}
+
+func TestLocalProgramFailureAborts(t *testing.T) {
+	rt := newLocal(t, 1)
+	if err := rt.RegisterTemplateSource(`
+PROCESS Doomed {
+  ACTIVITY F { CALL test.fail(); }
+}`); err != nil {
+		t.Fatal(err)
+	}
+	id, _ := rt.StartProcess("Doomed", nil, StartOptions{})
+	in, err := rt.Wait(id, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Status != InstanceFailed {
+		t.Fatalf("instance %s", in.Status)
+	}
+}
+
+func TestLocalWaitTimeout(t *testing.T) {
+	lib := NewLibrary()
+	lib.Register(Program{
+		Name: "test.slow",
+		Run: func(ProgramCtx, map[string]ocr.Value) (map[string]ocr.Value, error) {
+			time.Sleep(2 * time.Second)
+			return nil, nil
+		},
+	})
+	rt, err := NewLocalRuntime(LocalConfig{Workers: 1, Library: lib})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	rt.RegisterTemplateSource(`PROCESS Slow { ACTIVITY S { CALL test.slow(); } }`)
+	id, _ := rt.StartProcess("Slow", nil, StartOptions{})
+	if _, err := rt.Wait(id, 100*time.Millisecond); err == nil {
+		t.Fatal("Wait did not time out")
+	}
+	if _, err := rt.Wait("ghost", time.Millisecond); !errors.Is(err, ErrUnknownInstance) {
+		t.Fatalf("Wait(ghost) = %v", err)
+	}
+}

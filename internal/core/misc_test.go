@@ -1,0 +1,196 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"bioopera/internal/ocr"
+	"bioopera/internal/sim"
+)
+
+func TestLibraryBasics(t *testing.T) {
+	lib := NewLibrary()
+	if err := lib.Register(Program{Name: ""}); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if err := lib.Register(Program{Name: "x"}); err == nil {
+		t.Fatal("nil Run accepted")
+	}
+	lib.RegisterFunc("b.two", func(ProgramCtx, map[string]ocr.Value) (map[string]ocr.Value, error) { return nil, nil })
+	lib.RegisterFunc("a.one", func(ProgramCtx, map[string]ocr.Value) (map[string]ocr.Value, error) { return nil, nil })
+	names := lib.Names()
+	if len(names) != 2 || names[0] != "a.one" || names[1] != "b.two" {
+		t.Fatalf("Names = %v", names)
+	}
+	if _, ok := lib.Lookup("a.one"); !ok {
+		t.Fatal("Lookup failed")
+	}
+	if _, ok := lib.Lookup("ghost"); ok {
+		t.Fatal("Lookup(ghost) succeeded")
+	}
+}
+
+func TestEngineTemplatesAPI(t *testing.T) {
+	rt := newRuntime(t, SimConfig{})
+	register(t, rt, linearSrc)
+	names := rt.Engine.Templates()
+	if len(names) != 1 || names[0] != "Linear" {
+		t.Fatalf("Templates = %v", names)
+	}
+	p, ok := rt.Engine.Template("Linear")
+	if !ok || p.Name != "Linear" {
+		t.Fatal("Template lookup failed")
+	}
+	// The returned template is a copy.
+	p.Name = "Mutated"
+	if _, ok := rt.Engine.Template("Mutated"); ok {
+		t.Fatal("Template returned a shared pointer")
+	}
+	if _, ok := rt.Engine.Template("nope"); ok {
+		t.Fatal("unknown template found")
+	}
+	// Invalid template rejected.
+	bad, _ := ocr.ParseProcess(`PROCESS Bad { ACTIVITY A { CALL x.y(); } A -> A; }`)
+	if bad != nil {
+		if err := rt.Engine.RegisterTemplate(bad); err == nil {
+			t.Fatal("self-loop template accepted")
+		}
+	}
+	if err := rt.Engine.RegisterTemplateSource("PROCESS {"); err == nil {
+		t.Fatal("garbage source accepted")
+	}
+}
+
+func TestPauseAllBlocksEveryInstance(t *testing.T) {
+	rt := newRuntime(t, SimConfig{})
+	register(t, rt, linearSrc)
+	id1 := start(t, rt, "Linear", map[string]ocr.Value{"a": ocr.Num(1), "b": ocr.Num(1)})
+	id2 := start(t, rt, "Linear", map[string]ocr.Value{"a": ocr.Num(2), "b": ocr.Num(2)})
+	rt.Engine.PauseAll()
+	var midRunning int
+	rt.Sim.At(sim.Time(30*time.Second), func(sim.Time) {
+		midRunning = rt.Engine.RunningJobs()
+		rt.Engine.ResumeAll()
+	})
+	rt.Run()
+	// PauseAll was called before any dispatch: nothing may have run
+	// until ResumeAll.
+	if midRunning != 0 {
+		t.Fatalf("jobs ran while paused: %d", midRunning)
+	}
+	for _, id := range []string{id1, id2} {
+		finished(t, rt, id)
+	}
+}
+
+func TestTrackerControls(t *testing.T) {
+	rt := newRuntime(t, SimConfig{TrackEvery: time.Second})
+	register(t, rt, linearSrc)
+	id := start(t, rt, "Linear", map[string]ocr.Value{"a": ocr.Num(1), "b": ocr.Num(1)})
+	rt.Tracker.Annotate(rt.Sim.Now(), "start")
+	// The tracker ticks forever; bound the run instead of draining.
+	rt.RunUntil(sim.Time(10 * time.Second))
+	finished(t, rt, id)
+	if len(rt.Tracker.Samples()) < 2 {
+		t.Fatalf("samples = %d", len(rt.Tracker.Samples()))
+	}
+	if got := rt.Tracker.Annotations(); len(got) != 1 || got[0].Label != "start" {
+		t.Fatalf("annotations = %v", got)
+	}
+	if rt.Tracker.PeakBusy() < 1 {
+		t.Fatal("peak busy = 0 despite work")
+	}
+	if u := rt.Tracker.MeanUtilization(); u <= 0 || u > 1 {
+		t.Fatalf("mean utilization = %v", u)
+	}
+	rt.Tracker.Stop()
+	n := len(rt.Tracker.Samples())
+	rt.RunUntil(sim.Time(20 * time.Second))
+	if len(rt.Tracker.Samples()) != n {
+		t.Fatal("tracker sampled after Stop")
+	}
+}
+
+func TestSuspendStates(t *testing.T) {
+	rt := newRuntime(t, SimConfig{})
+	register(t, rt, linearSrc)
+	id := start(t, rt, "Linear", map[string]ocr.Value{"a": ocr.Num(1), "b": ocr.Num(1)})
+	if err := rt.Engine.Suspend(id, true); err != nil {
+		t.Fatal(err)
+	}
+	// Double suspend is a state error.
+	if err := rt.Engine.Suspend(id, true); !errors.Is(err, ErrBadState) {
+		t.Fatalf("double suspend = %v", err)
+	}
+	if err := rt.Engine.Resume(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Engine.Resume(id); !errors.Is(err, ErrBadState) {
+		t.Fatalf("double resume = %v", err)
+	}
+	rt.Run()
+	finished(t, rt, id)
+}
+
+func TestStatusStrings(t *testing.T) {
+	for _, c := range []struct {
+		s    interface{ String() string }
+		want string
+	}{
+		{TaskInactive, "inactive"},
+		{TaskReady, "ready"},
+		{TaskRunning, "running"},
+		{TaskEnded, "ended"},
+		{TaskFailed, "failed"},
+		{TaskDead, "dead"},
+		{InstanceRunning, "running"},
+		{InstanceSuspended, "suspended"},
+		{InstanceDone, "done"},
+		{InstanceFailed, "failed"},
+	} {
+		if got := c.s.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+	if !strings.Contains(TaskStatus(99).String(), "status") {
+		t.Error("out-of-range task status string")
+	}
+	if !strings.Contains(InstanceStatus(99).String(), "status") {
+		t.Error("out-of-range instance status string")
+	}
+	if TaskInactive.Terminal() || !TaskEnded.Terminal() || !TaskDead.Terminal() {
+		t.Error("Terminal misclassifies")
+	}
+}
+
+func TestNewEngineValidation(t *testing.T) {
+	if _, err := New(Options{}); err == nil {
+		t.Fatal("engine without dependencies accepted")
+	}
+}
+
+func TestRuntimeMonitors(t *testing.T) {
+	rt := newRuntime(t, SimConfig{Monitor: true})
+	register(t, rt, parallelSrc)
+	var xs []ocr.Value
+	for i := 0; i < 30; i++ {
+		xs = append(xs, ocr.Num(float64(i)))
+	}
+	id := start(t, rt, "Par", map[string]ocr.Value{"xs": ocr.List(xs...)})
+	rt.Cluster.SetExternalLoad("n1", 0.8)
+	rt.RunUntil(sim.Time(5 * time.Minute))
+	finished(t, rt, id)
+	samples, reports := rt.MonitorStats()
+	if samples == 0 || reports == 0 {
+		t.Fatalf("monitor stats = %d/%d", samples, reports)
+	}
+	if reports >= samples {
+		t.Fatalf("adaptive monitor reported everything: %d/%d", reports, samples)
+	}
+	loads := rt.ReportedLoads()
+	if loads["n1"] < 0.5 {
+		t.Fatalf("server view of n1 load = %v, want the 0.8 external load visible", loads["n1"])
+	}
+}

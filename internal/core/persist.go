@@ -1,0 +1,477 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"bioopera/internal/ocr"
+	"bioopera/internal/sim"
+	"bioopera/internal/store"
+)
+
+// This file is the recovery module (§3.2): "During execution, a process
+// instance is persistent both in terms of the data and the state of the
+// execution. This allows BioOpera to resume execution of processes after
+// failures occur without losing already completed work."
+//
+// Layout in the instance space:
+//
+//	inst/<id>            instance metadata
+//	scope/<id>/<scope>   one record per scope (root scope name is "-")
+//
+// Completed/failed instances move to the history space under the same
+// keys. Recovery rebuilds instances from these records; activities that
+// were recorded as running (dispatched, no completion recorded) are
+// re-queued, and navigation decisions that were in flight are re-derived
+// by re-propagating the connectors of terminal tasks.
+
+type taskDTO struct {
+	Name         string               `json:"name"`
+	Status       TaskStatus           `json:"status"`
+	Attempts     int                  `json:"attempts,omitempty"`
+	Inputs       map[string]ocr.Value `json:"inputs,omitempty"`
+	Outputs      map[string]ocr.Value `json:"outputs,omitempty"`
+	Node         string               `json:"node,omitempty"`
+	Job          string               `json:"job,omitempty"`
+	AltOf        string               `json:"altOf,omitempty"`
+	ReadyAt      sim.Time             `json:"readyAt,omitempty"`
+	StartedAt    sim.Time             `json:"startedAt,omitempty"`
+	EndedAt      sim.Time             `json:"endedAt,omitempty"`
+	CPUTime      time.Duration        `json:"cpuTime,omitempty"`
+	ChildWaiting int                  `json:"childWaiting,omitempty"`
+	Results      []ocr.Value          `json:"results,omitempty"`
+	OverElems    []ocr.Value          `json:"overElems,omitempty"`
+}
+
+type scopeDTO struct {
+	ID         string               `json:"id"`
+	Parent     string               `json:"parent"`
+	IsRoot     bool                 `json:"isRoot,omitempty"`
+	ParentTask string               `json:"parentTask,omitempty"`
+	ElemIndex  int                  `json:"elemIndex"`
+	ProcText   string               `json:"proc"`
+	Whiteboard map[string]ocr.Value `json:"whiteboard"`
+	Tasks      []taskDTO            `json:"tasks"`
+	Done       bool                 `json:"done,omitempty"`
+}
+
+type instanceDTO struct {
+	ID            string               `json:"id"`
+	Template      string               `json:"template"`
+	Status        InstanceStatus       `json:"status"`
+	Priority      int                  `json:"priority,omitempty"`
+	Nice          bool                 `json:"nice,omitempty"`
+	Started       sim.Time             `json:"started"`
+	Ended         sim.Time             `json:"ended,omitempty"`
+	Activities    int                  `json:"activities,omitempty"`
+	CPU           time.Duration        `json:"cpu,omitempty"`
+	Failures      int                  `json:"failures,omitempty"`
+	Retries       int                  `json:"retries,omitempty"`
+	Outputs       map[string]ocr.Value `json:"outputs,omitempty"`
+	FailureReason string               `json:"failureReason,omitempty"`
+}
+
+func metaKey(id string) string { return "inst/" + id }
+
+func scopeKey(id, scopeID string) string {
+	if scopeID == "" {
+		scopeID = "-"
+	}
+	return "scope/" + id + "/" + scopeID
+}
+
+// touch marks a scope as needing persistence.
+func (e *Engine) touch(sc *scope) { sc.dirty = true }
+
+// persist writes the instance metadata and every dirty scope.
+func (e *Engine) persist(in *Instance) {
+	meta := instanceDTO{
+		ID: in.ID, Template: in.Template, Status: in.Status,
+		Priority: in.Priority, Nice: in.Nice,
+		Started: in.Started, Ended: in.Ended,
+		Activities: in.Activities, CPU: in.CPU,
+		Failures: in.Failures, Retries: in.Retries,
+		Outputs: in.Outputs, FailureReason: in.FailureReason,
+	}
+	if data, err := json.Marshal(meta); err == nil {
+		e.opts.Store.Put(store.Instance, metaKey(in.ID), data)
+	}
+	// Deterministic scope order.
+	ids := make([]string, 0, len(in.scopes))
+	for id, sc := range in.scopes {
+		if sc.dirty {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		sc := in.scopes[id]
+		if data, err := json.Marshal(scopeToDTO(sc)); err == nil {
+			e.opts.Store.Put(store.Instance, scopeKey(in.ID, id), data)
+			sc.dirty = false
+		}
+	}
+}
+
+func scopeToDTO(sc *scope) scopeDTO {
+	dto := scopeDTO{
+		ID:         sc.ID,
+		IsRoot:     sc.Parent == nil,
+		ParentTask: sc.ParentTask,
+		ElemIndex:  sc.ElemIndex,
+		ProcText:   sc.procText(),
+		Whiteboard: sc.Whiteboard,
+		Done:       sc.Done,
+	}
+	if sc.Parent != nil {
+		dto.Parent = sc.Parent.ID
+	}
+	for _, t := range sc.Proc.Tasks {
+		ts := sc.Tasks[t.Name]
+		dto.Tasks = append(dto.Tasks, taskDTO{
+			Name: ts.Name, Status: ts.Status, Attempts: ts.Attempts,
+			Inputs: ts.Inputs, Outputs: ts.Outputs,
+			Node: ts.Node, Job: ts.Job, AltOf: ts.AltOf,
+			ReadyAt: ts.ReadyAt, StartedAt: ts.StartedAt, EndedAt: ts.EndedAt,
+			CPUTime: ts.CPUTime, ChildWaiting: ts.ChildWaiting,
+			Results: ts.Results, OverElems: ts.OverElems,
+		})
+	}
+	return dto
+}
+
+// archive moves a finished instance's records from the instance space to
+// the history space (§3.2: "the data space contains historical information
+// about all processes already executed").
+func (e *Engine) archive(in *Instance) {
+	s := e.opts.Store
+	move := func(key string) {
+		if v, ok, _ := s.Get(store.Instance, key); ok {
+			s.Put(store.History, key, v)
+			s.Delete(store.Instance, key)
+		}
+	}
+	// Force a final full persist so history is complete.
+	for _, sc := range in.scopes {
+		sc.dirty = true
+	}
+	e.persist(in)
+	move(metaKey(in.ID))
+	ids := make([]string, 0, len(in.scopes))
+	for id := range in.scopes {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		move(scopeKey(in.ID, id))
+	}
+}
+
+// Recover rebuilds all unfinished instances from the store after a server
+// restart or crash. Activities recorded as running are treated as lost
+// and re-queued; in-flight navigation is re-derived. It returns the
+// number of instances recovered.
+func (e *Engine) Recover() (int, error) {
+	kvs, err := e.opts.Store.List(store.Instance)
+	if err != nil {
+		return 0, err
+	}
+	metas := map[string]instanceDTO{}
+	scopes := map[string][]scopeDTO{} // instance ID → scope records
+	for _, kv := range kvs {
+		switch {
+		case strings.HasPrefix(kv.Key, "inst/"):
+			var dto instanceDTO
+			if err := json.Unmarshal(kv.Value, &dto); err != nil {
+				return 0, fmt.Errorf("core: corrupt instance record %s: %w", kv.Key, err)
+			}
+			metas[dto.ID] = dto
+		case strings.HasPrefix(kv.Key, "scope/"):
+			rest := strings.TrimPrefix(kv.Key, "scope/")
+			slash := strings.IndexByte(rest, '/')
+			if slash < 0 {
+				continue
+			}
+			instID := rest[:slash]
+			var dto scopeDTO
+			if err := json.Unmarshal(kv.Value, &dto); err != nil {
+				return 0, fmt.Errorf("core: corrupt scope record %s: %w", kv.Key, err)
+			}
+			scopes[instID] = append(scopes[instID], dto)
+		}
+	}
+
+	ids := make([]string, 0, len(metas))
+	for id := range metas {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+
+	recovered := 0
+	for _, id := range ids {
+		meta := metas[id]
+		if _, exists := e.instances[id]; exists {
+			continue // already live (Recover on a running engine)
+		}
+		in, err := e.rebuildInstance(meta, scopes[id])
+		if err != nil {
+			return recovered, err
+		}
+		e.instances[id] = in
+		e.order = append(e.order, id)
+		// Track the numeric suffix so new IDs stay unique.
+		var n int
+		if _, err := fmt.Sscanf(id, "p%d", &n); err == nil && n > e.nextID {
+			e.nextID = n
+		}
+		recovered++
+		e.emit(Event{Kind: EvServerRecovered, Instance: id,
+			Detail: fmt.Sprintf("status=%s", in.Status)})
+	}
+	e.Pump()
+	return recovered, nil
+}
+
+// rebuildInstance reconstructs one instance from its records and resumes
+// navigation.
+func (e *Engine) rebuildInstance(meta instanceDTO, scopeDTOs []scopeDTO) (*Instance, error) {
+	in := &Instance{
+		ID: meta.ID, Template: meta.Template, Status: meta.Status,
+		Priority: meta.Priority, Nice: meta.Nice,
+		Started: meta.Started, Ended: meta.Ended,
+		Activities: meta.Activities, CPU: meta.CPU,
+		Failures: meta.Failures, Retries: meta.Retries,
+		Outputs: meta.Outputs, FailureReason: meta.FailureReason,
+		scopes: make(map[string]*scope),
+	}
+	// Sort records so parents come before children (shorter IDs first;
+	// root "" is shortest).
+	sort.Slice(scopeDTOs, func(i, j int) bool {
+		if len(scopeDTOs[i].ID) != len(scopeDTOs[j].ID) {
+			return len(scopeDTOs[i].ID) < len(scopeDTOs[j].ID)
+		}
+		return scopeDTOs[i].ID < scopeDTOs[j].ID
+	})
+	for _, dto := range scopeDTOs {
+		proc, err := ocr.ParseProcess(dto.ProcText)
+		if err != nil {
+			return nil, fmt.Errorf("core: scope %s/%s has invalid process text: %w", meta.ID, dto.ID, err)
+		}
+		sc := &scope{
+			ID:         dto.ID,
+			Proc:       proc,
+			ParentTask: dto.ParentTask,
+			ElemIndex:  dto.ElemIndex,
+			Whiteboard: dto.Whiteboard,
+			Tasks:      make(map[string]*taskState),
+			Done:       dto.Done,
+			children:   make(map[string]*scope),
+		}
+		if sc.Whiteboard == nil {
+			sc.Whiteboard = make(map[string]ocr.Value)
+		}
+		if !dto.IsRoot {
+			parent := in.scopes[dto.Parent]
+			if parent == nil {
+				return nil, fmt.Errorf("core: scope %s/%s has missing parent %q", meta.ID, dto.ID, dto.Parent)
+			}
+			sc.Parent = parent
+			parent.children[sc.ID] = sc
+		} else {
+			in.root = sc
+		}
+		for _, td := range dto.Tasks {
+			sc.Tasks[td.Name] = &taskState{
+				Name: td.Name, Status: td.Status, Attempts: td.Attempts,
+				Inputs: td.Inputs, Outputs: td.Outputs,
+				Node: td.Node, Job: td.Job, AltOf: td.AltOf,
+				ReadyAt: td.ReadyAt, StartedAt: td.StartedAt, EndedAt: td.EndedAt,
+				CPUTime: td.CPUTime, ChildWaiting: td.ChildWaiting,
+				Results: td.Results, OverElems: td.OverElems,
+				ConnIn: make([]connState, len(proc.Incoming(td.Name))),
+			}
+		}
+		// Tasks present in the process but missing from the record
+		// (older snapshot) start inactive.
+		for _, t := range proc.Tasks {
+			if _, ok := sc.Tasks[t.Name]; !ok {
+				sc.Tasks[t.Name] = &taskState{
+					Name:   t.Name,
+					ConnIn: make([]connState, len(proc.Incoming(t.Name))),
+				}
+			}
+		}
+		in.scopes[sc.ID] = sc
+	}
+	if in.root == nil {
+		return nil, fmt.Errorf("core: instance %s has no root scope record", meta.ID)
+	}
+
+	if in.Status == InstanceDone || in.Status == InstanceFailed {
+		return in, nil
+	}
+
+	// Resume execution state, children before parents.
+	ordered := make([]*scope, 0, len(in.scopes))
+	for _, sc := range in.scopes {
+		ordered = append(ordered, sc)
+	}
+	sort.Slice(ordered, func(i, j int) bool {
+		if len(ordered[i].ID) != len(ordered[j].ID) {
+			return len(ordered[i].ID) > len(ordered[j].ID)
+		}
+		return ordered[i].ID < ordered[j].ID
+	})
+	for _, sc := range ordered {
+		e.resumeScope(in, sc)
+		if in.Status == InstanceFailed {
+			return in, nil
+		}
+	}
+	for _, sc := range ordered {
+		e.maybeCompleteScope(in, sc)
+		if in.Status == InstanceFailed || in.Status == InstanceDone {
+			break
+		}
+	}
+	return in, nil
+}
+
+// resumeScope restores per-task execution state of one scope: requeues
+// lost work, respawns missing child scopes, and re-derives connector
+// decisions for tasks that never activated.
+func (e *Engine) resumeScope(in *Instance, sc *scope) {
+	for _, t := range sc.Proc.Tasks {
+		ts := sc.Tasks[t.Name]
+		switch ts.Status {
+		case TaskReady:
+			// Was queued; re-queue.
+			e.requeue(in, sc, t, ts)
+		case TaskRunning:
+			switch t.Kind {
+			case ocr.KindActivity:
+				if t.Await != "" {
+					// Still waiting for its event; re-arm
+					// the wait (signals buffered before the
+					// crash are volatile and lost, as is a
+					// signal — the sender re-sends).
+					ts.Status = TaskInactive
+					e.awaitEvent(in, sc, t, ts)
+					continue
+				}
+				// Dispatched but no completion recorded: the
+				// work is lost; re-queue (§3.3:
+				// checkpointing at activity granularity).
+				in.Failures++
+				in.Retries++
+				ts.Status = TaskReady
+				ts.Node = ""
+				e.emit(Event{Kind: EvTaskRetried, Instance: in.ID, Scope: sc.ID,
+					Task: t.Name, Detail: "lost in server crash"})
+				e.requeue(in, sc, t, ts)
+			case ocr.KindBlock:
+				e.resumeBlock(in, sc, t, ts)
+			case ocr.KindSubprocess:
+				e.resumeChildScope(in, sc, t, ts, func() {
+					ts.ChildWaiting = 1
+					e.spawnSubprocess(in, sc, t, ts)
+				})
+			}
+		}
+	}
+	// Re-derive connector decisions from terminal tasks so targets that
+	// had not yet activated (or whose activation was not persisted)
+	// activate now. Delivery skips targets that are no longer
+	// inactive.
+	for _, t := range sc.Proc.Tasks {
+		ts := sc.Tasks[t.Name]
+		if ts.Status == TaskEnded || ts.Status == TaskDead {
+			e.propagate(in, sc, t, ts)
+			if in.Status == InstanceFailed {
+				return
+			}
+		}
+	}
+	e.touch(sc)
+}
+
+// resumeChildScope handles a Running block/subprocess task whose single
+// child scope may be missing (respawn) or already Done (redeliver its
+// outputs — the crash happened between child completion and parent
+// delivery).
+func (e *Engine) resumeChildScope(in *Instance, sc *scope, t *ocr.Task, ts *taskState, respawn func()) {
+	childID := scopePath(sc, t.Name, -1)
+	child, ok := in.scopes[childID]
+	if !ok {
+		respawn()
+		return
+	}
+	if child.Done {
+		outputs := make(map[string]ocr.Value, len(child.Proc.Outputs))
+		for _, o := range child.Proc.Outputs {
+			if v, ok := child.Whiteboard[o]; ok {
+				outputs[o] = v
+			} else {
+				outputs[o] = ocr.Null
+			}
+		}
+		e.finishTask(in, sc, t, ts, outputs)
+	}
+}
+
+// resumeBlock recreates block child scopes whose records were lost (crash
+// between block activation and child persistence) and redelivers results
+// from children that completed but whose delivery was not persisted.
+func (e *Engine) resumeBlock(in *Instance, sc *scope, t *ocr.Task, ts *taskState) {
+	if !t.Parallel {
+		e.resumeChildScope(in, sc, t, ts, func() {
+			child := e.newScope(in, sc, t.Name, -1, t.Body)
+			copyWhiteboard(child, sc)
+			ts.ChildWaiting = 1
+			e.startScope(in, child)
+		})
+		return
+	}
+	n := len(ts.OverElems)
+	if n == 0 {
+		return
+	}
+	if len(ts.Results) != n {
+		ts.Results = make([]ocr.Value, n)
+	}
+	waiting := 0
+	var missing []int
+	for i := 0; i < n; i++ {
+		childID := scopePath(sc, t.Name, i)
+		child, ok := in.scopes[childID]
+		if ok {
+			if child.Done {
+				// Recompute the element result: delivery may
+				// not have been persisted.
+				ts.Results[i] = elementResult(child)
+			} else {
+				waiting++
+			}
+			continue
+		}
+		missing = append(missing, i)
+		waiting++
+	}
+	ts.ChildWaiting = waiting
+	e.touch(sc)
+	if waiting == 0 {
+		e.finishTask(in, sc, t, ts, map[string]ocr.Value{
+			"results": ocr.List(ts.Results...),
+		})
+		return
+	}
+	for _, i := range missing {
+		child := e.newScope(in, sc, t.Name, i, t.Body)
+		copyWhiteboard(child, sc)
+		child.Whiteboard[t.As] = ts.OverElems[i]
+		e.startScope(in, child)
+	}
+}

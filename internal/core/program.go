@@ -1,0 +1,93 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"bioopera/internal/ocr"
+)
+
+// ProgramCtx gives a program access to its execution context.
+type ProgramCtx struct {
+	// Instance and Task identify the caller.
+	Instance string
+	Task     string
+	// Attempt is 0 on the first try, incrementing with retries.
+	Attempt int
+	// Node is where the activity was placed.
+	Node string
+}
+
+// ProgramFunc computes an activity's outputs from its evaluated inputs.
+// It is the external binding target (the paper's "stand alone programs or
+// systems that can be relied upon to complete one of the computational
+// steps"). Returning an error counts as a program failure (subject to the
+// task's RETRY/ON FAILURE handling).
+type ProgramFunc func(ctx ProgramCtx, args map[string]ocr.Value) (map[string]ocr.Value, error)
+
+// CostFunc estimates the reference-CPU cost of an invocation, letting the
+// simulated cluster charge realistic virtual time. A nil CostFunc falls
+// back to the task's COST annotation, then to DefaultActivityCost.
+type CostFunc func(args map[string]ocr.Value) time.Duration
+
+// DefaultActivityCost is charged when nothing better is known.
+const DefaultActivityCost = time.Second
+
+// Program is one entry of the activity library (§3.2's "library management
+// element": program to be invoked, input, output, where it runs, how to
+// pass arguments).
+type Program struct {
+	// Name is the external binding string used by CALL.
+	Name string
+	// Run computes the outputs. Required.
+	Run ProgramFunc
+	// Cost estimates virtual CPU cost (may be nil).
+	Cost CostFunc
+	// OS restricts placement ("" = anywhere).
+	OS string
+	// Nodes restricts placement to specific nodes (nil = anywhere).
+	Nodes []string
+}
+
+// Library is the program registry distributed with the engine.
+type Library struct {
+	programs map[string]*Program
+}
+
+// NewLibrary returns an empty library.
+func NewLibrary() *Library { return &Library{programs: make(map[string]*Program)} }
+
+// Register adds a program, replacing any previous binding of the name.
+func (l *Library) Register(p Program) error {
+	if p.Name == "" {
+		return fmt.Errorf("core: program with empty name")
+	}
+	if p.Run == nil {
+		return fmt.Errorf("core: program %s has no Run function", p.Name)
+	}
+	cp := p
+	l.programs[p.Name] = &cp
+	return nil
+}
+
+// RegisterFunc is shorthand for registering a pure function.
+func (l *Library) RegisterFunc(name string, run ProgramFunc) error {
+	return l.Register(Program{Name: name, Run: run})
+}
+
+// Lookup finds a program by binding name.
+func (l *Library) Lookup(name string) (*Program, bool) {
+	p, ok := l.programs[name]
+	return p, ok
+}
+
+// Names lists the registered bindings, sorted.
+func (l *Library) Names() []string {
+	out := make([]string, 0, len(l.programs))
+	for n := range l.programs {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,236 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"bioopera/internal/ocr"
+	"bioopera/internal/sim"
+)
+
+// This file property-tests the navigator against an independent reference
+// interpreter: random DAG processes with conditional connectors are run
+// through the full engine (optionally under node churn) and through a
+// 30-line sequential evaluator that implements the paper's navigation
+// semantics directly. The two must always produce identical outputs.
+//
+// Generated processes are confluent by construction (each whiteboard name
+// is written by exactly one task, and conditions only read names fixed
+// before evaluation), so the comparison is exact regardless of scheduling.
+
+// propProcess is a generated process plus its metadata.
+type propProcess struct {
+	proc  *ocr.Process
+	tasks int
+}
+
+// genProcess builds a random DAG of activities. Task i computes
+// out = 1 + i + Σ(args) and maps it to w<i>. Connectors carry conditions
+// over the source's own output with probability ~1/2.
+func genProcess(rng *rand.Rand) propProcess {
+	n := 3 + rng.Intn(8)
+	b := ocr.NewBuilder("Prop")
+	var outs []string
+	for i := 0; i < n; i++ {
+		outs = append(outs, fmt.Sprintf("w%d", i))
+	}
+	b.Outputs(outs...)
+
+	// Edges first: each non-root task gets incoming connectors from
+	// random earlier tasks.
+	preds := make([][]int, n)
+	type edge struct {
+		from, to int
+		kind     int
+	}
+	var edges []edge
+	for j := 1; j < n; j++ {
+		count := 1 + rng.Intn(2)
+		seen := map[int]bool{}
+		for e := 0; e < count; e++ {
+			i := rng.Intn(j)
+			if seen[i] {
+				continue
+			}
+			seen[i] = true
+			preds[j] = append(preds[j], i)
+			edges = append(edges, edge{from: i, to: j, kind: rng.Intn(3)})
+		}
+	}
+
+	// Tasks: arguments may only reference *direct predecessors* — those
+	// are guaranteed terminal (ended or dead) before activation, so the
+	// whiteboard values they read are fixed. A dead predecessor's name
+	// is simply undefined (null), in both the engine and the reference.
+	for i := 0; i < n; i++ {
+		var opts []ocr.TaskOption
+		for a, src := range preds[i] {
+			if rng.Intn(2) == 0 {
+				continue // not every predecessor becomes an argument
+			}
+			opts = append(opts, ocr.Arg(fmt.Sprintf("a%d", a), fmt.Sprintf("w%d", src)))
+		}
+		opts = append(opts,
+			ocr.Arg("self", fmt.Sprintf("%d", i)),
+			ocr.Out("out"),
+			ocr.MapTo("out", fmt.Sprintf("w%d", i)),
+		)
+		b.Activity(fmt.Sprintf("T%d", i), "prop.f", opts...)
+	}
+	for _, e := range edges {
+		from, to := fmt.Sprintf("T%d", e.from), fmt.Sprintf("T%d", e.to)
+		switch e.kind {
+		case 0:
+			b.Flow(from, to)
+		case 1:
+			// Condition over the source's mapped output — fixed
+			// before the condition is evaluated.
+			b.FlowIf(from, to, fmt.Sprintf("w%d %% 2 == %d", e.from, rng.Intn(2)))
+		case 2:
+			b.FlowIf(from, to, fmt.Sprintf("w%d > %d", e.from, rng.Intn(2*n)))
+		}
+	}
+	p, err := b.Build()
+	if err != nil {
+		panic(err) // generator bug
+	}
+	return propProcess{proc: p, tasks: n}
+}
+
+// propFn is the pure activity function: 1 + self + Σ numeric args.
+func propFn(args map[string]ocr.Value) float64 {
+	sum := 1.0
+	for _, v := range args {
+		sum += v.AsNum()
+	}
+	return sum
+}
+
+// referenceRun evaluates the process sequentially with the paper's
+// semantics: roots activate; a task activates when all incoming connectors
+// are decided and at least one is satisfied; all-dead targets die and
+// propagate.
+func referenceRun(p *ocr.Process) map[string]ocr.Value {
+	wb := map[string]ocr.Value{}
+	type tstate uint8
+	const (
+		pending tstate = iota
+		ended
+		dead
+	)
+	status := map[string]tstate{}
+
+	env := ocr.MapEnv(wb)
+	var resolve func(name string)
+	resolve = func(name string) {
+		if _, done := status[name]; done {
+			return
+		}
+		incoming := p.Incoming(name)
+		anySat := false
+		for _, c := range incoming {
+			resolve(c.From)
+			if status[c.From] != ended {
+				continue
+			}
+			if c.Cond == nil {
+				anySat = true
+				continue
+			}
+			v, err := c.Cond.Eval(env)
+			if err == nil && v.Truthy() {
+				anySat = true
+			}
+		}
+		if len(incoming) > 0 && !anySat {
+			status[name] = dead
+			return
+		}
+		// Execute.
+		t := p.Task(name)
+		args := map[string]ocr.Value{}
+		for _, bnd := range t.Args {
+			v, err := bnd.Expr.Eval(env)
+			if err != nil {
+				v = ocr.Null
+			}
+			args[bnd.Name] = v
+		}
+		out := ocr.Num(propFn(args))
+		for _, m := range t.Maps {
+			if m.From == "out" {
+				wb[m.To] = out
+			}
+		}
+		status[name] = ended
+	}
+	for _, t := range p.Tasks {
+		resolve(t.Name)
+	}
+	outputs := map[string]ocr.Value{}
+	for _, o := range p.Outputs {
+		if v, ok := wb[o]; ok {
+			outputs[o] = v
+		} else {
+			outputs[o] = ocr.Null
+		}
+	}
+	return outputs
+}
+
+func TestNavigatorMatchesReference(t *testing.T) {
+	for trial := 0; trial < 40; trial++ {
+		rng := rand.New(rand.NewSource(int64(9000 + trial)))
+		pp := genProcess(rng)
+		want := referenceRun(pp.proc)
+
+		lib := NewLibrary()
+		lib.RegisterFunc("prop.f", func(_ ProgramCtx, args map[string]ocr.Value) (map[string]ocr.Value, error) {
+			return map[string]ocr.Value{"out": ocr.Num(propFn(args))}, nil
+		})
+		rt, err := NewSimRuntime(SimConfig{Seed: int64(trial + 1), Spec: testSpec(), Library: lib})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rt.Engine.RegisterTemplate(pp.proc); err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, ocr.Format(pp.proc))
+		}
+		id, err := rt.Engine.StartProcess("Prop", nil, StartOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Half the trials run under churn: crashes and a server
+		// restart must not change navigation results.
+		if trial%2 == 1 {
+			rt.Sim.At(sim.Time(500*time.Millisecond), func(sim.Time) {
+				rt.Cluster.CrashNode("n1")
+			})
+			rt.Sim.At(sim.Time(1500*time.Millisecond), func(sim.Time) {
+				rt.Engine.Crash()
+				rt.Engine.Recover()
+			})
+			rt.Sim.At(sim.Time(3*time.Second), func(sim.Time) {
+				rt.Cluster.RestoreNode("n1")
+			})
+		}
+
+		rt.Run()
+		in, ok := rt.Engine.Instance(id)
+		if !ok {
+			t.Fatalf("trial %d: instance lost", trial)
+		}
+		if in.Status != InstanceDone {
+			t.Fatalf("trial %d: %s (%s)\n%s", trial, in.Status, in.FailureReason, ocr.Format(pp.proc))
+		}
+		for name, wv := range want {
+			gv := in.Outputs[name]
+			if !gv.Equal(wv) {
+				t.Fatalf("trial %d: output %s = %v, reference says %v\n%s",
+					trial, name, gv, wv, ocr.Format(pp.proc))
+			}
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"bioopera/internal/ocr"
+	"bioopera/internal/sim"
+	"bioopera/internal/store"
+)
+
+// These tests exercise recovery edge cases: corrupt and partially missing
+// store records, recovery of nested subprocess trees, and lineage over
+// parallel scopes.
+
+func TestRecoverCorruptInstanceRecord(t *testing.T) {
+	st := store.NewMem()
+	st.Put(store.Instance, "inst/p0001", []byte("{not json"))
+	rt := newRuntime(t, SimConfig{Store: st})
+	if _, err := rt.Engine.Recover(); err == nil {
+		t.Fatal("corrupt instance record accepted")
+	}
+}
+
+func TestRecoverCorruptScopeRecord(t *testing.T) {
+	st := store.NewMem()
+	rt := newRuntime(t, SimConfig{Store: st})
+	register(t, rt, linearSrc)
+	id := start(t, rt, "Linear", map[string]ocr.Value{"a": ocr.Num(1), "b": ocr.Num(1)})
+	rt.RunUntil(sim.Time(500 * time.Millisecond))
+	// Corrupt the root scope record, then crash+recover.
+	st.Put(store.Instance, "scope/"+id+"/-", []byte("oops"))
+	rt.Engine.Crash()
+	if _, err := rt.Engine.Recover(); err == nil {
+		t.Fatal("corrupt scope record accepted")
+	}
+}
+
+func TestRecoverMissingRootScope(t *testing.T) {
+	st := store.NewMem()
+	rt := newRuntime(t, SimConfig{Store: st})
+	register(t, rt, linearSrc)
+	id := start(t, rt, "Linear", map[string]ocr.Value{"a": ocr.Num(1), "b": ocr.Num(1)})
+	rt.RunUntil(sim.Time(500 * time.Millisecond))
+	st.Delete(store.Instance, "scope/"+id+"/-")
+	rt.Engine.Crash()
+	if _, err := rt.Engine.Recover(); err == nil || !strings.Contains(err.Error(), "root scope") {
+		t.Fatalf("missing root scope: err = %v", err)
+	}
+}
+
+func TestRecoverNestedSubprocessMidRun(t *testing.T) {
+	// A subprocess inside a parallel block, interrupted mid-flight:
+	// recovery must rebuild the whole scope tree and finish correctly.
+	src := subprocSrc + `
+PROCESS Nest {
+  INPUT xs;
+  OUTPUT all;
+  BLOCK Fan PARALLEL OVER xs AS x {
+    MAP results -> all;
+    OUTPUT r;
+    SUBPROCESS S USES "Inner" {
+      IN v = x;
+      OUT w;
+      MAP w -> r;
+    }
+  }
+}
+`
+	st := store.NewMem()
+	rt := newRuntime(t, SimConfig{Store: st})
+	register(t, rt, src)
+	var xs []ocr.Value
+	for i := 0; i < 6; i++ {
+		xs = append(xs, ocr.Num(float64(i)))
+	}
+	id, err := rt.Engine.StartProcess("Nest", map[string]ocr.Value{"xs": ocr.List(xs...)}, StartOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Crash while some subprocess activities are mid-run.
+	rt.Sim.At(sim.Time(1300*time.Millisecond), func(sim.Time) {
+		rt.Engine.Crash()
+		if n, err := rt.Engine.Recover(); err != nil || n != 1 {
+			t.Errorf("recover = %d, %v", n, err)
+		}
+	})
+	rt.Run()
+	in, ok := rt.Engine.Instance(id)
+	if !ok {
+		t.Fatal("instance lost")
+	}
+	if in.Status != InstanceDone {
+		t.Fatalf("instance %s (%s)", in.Status, in.FailureReason)
+	}
+	for i := 0; i < 6; i++ {
+		if in.Outputs["all"].At(i).AsNum() != float64(2*i) {
+			t.Fatalf("all = %v", in.Outputs["all"])
+		}
+	}
+}
+
+func TestLineageAcrossParallelScopes(t *testing.T) {
+	rt := newRuntime(t, SimConfig{})
+	register(t, rt, parallelSrc)
+	xs := ocr.List(ocr.Num(1), ocr.Num(2))
+	id := start(t, rt, "Par", map[string]ocr.Value{"xs": xs})
+	rt.Run()
+	finished(t, rt, id)
+	lg, err := rt.Engine.Lineage(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The block produced the fan-out result in the root scope.
+	if got := lg.Producer("doubled"); got != "::Fan" {
+		t.Fatalf("Producer(doubled) = %q", got)
+	}
+	// Element scopes have their own producers.
+	if n, ok := lg.Items["Fan[0]::y"]; !ok || n.Producer != "Fan[0]::D" {
+		t.Fatalf("element lineage = %+v", n)
+	}
+	// Program index covers the element activities.
+	aff := lg.AffectedByProgram("test.double")
+	if len(aff) != 2 {
+		t.Fatalf("AffectedByProgram = %v", aff)
+	}
+}
+
+func TestRecoverIdempotentOnLiveEngine(t *testing.T) {
+	// Calling Recover without a crash must not duplicate live instances.
+	st := store.NewMem()
+	rt := newRuntime(t, SimConfig{Store: st})
+	register(t, rt, linearSrc)
+	id := start(t, rt, "Linear", map[string]ocr.Value{"a": ocr.Num(1), "b": ocr.Num(1)})
+	rt.RunUntil(sim.Time(500 * time.Millisecond))
+	n, err := rt.Engine.Recover()
+	if err != nil || n != 0 {
+		t.Fatalf("Recover on live engine = %d, %v", n, err)
+	}
+	rt.Run()
+	in := finished(t, rt, id)
+	if in.Activities != 2 {
+		t.Fatalf("activities = %d (duplicated work?)", in.Activities)
+	}
+	if got := len(rt.Engine.Instances()); got != 1 {
+		t.Fatalf("instances = %d", got)
+	}
+}

@@ -1,0 +1,270 @@
+package darwin
+
+import (
+	"math"
+	"sort"
+)
+
+// Alignment is the result of a local alignment of two sequences.
+type Alignment struct {
+	// Score is the Smith–Waterman score in tenth-bits.
+	Score float64
+	// PAM is the distance of the matrix that produced the score.
+	PAM float64
+	// AStart/AEnd and BStart/BEnd delimit the aligned regions
+	// (half-open, in residue positions).
+	AStart, AEnd int
+	BStart, BEnd int
+	// Length is the number of alignment columns (including gaps).
+	Length int
+	// Identity is the fraction of identical aligned residue pairs.
+	Identity float64
+	// Cells is the number of dynamic-programming cells evaluated —
+	// the basis of the simulator's cost model.
+	Cells int64
+}
+
+// Align computes the optimal Smith–Waterman local alignment of a and b
+// under sm with affine gaps (Gotoh's algorithm), including a traceback to
+// recover the aligned region, its length and identity.
+func Align(a, b *Sequence, sm *ScoreMatrix) Alignment {
+	n, m := a.Len(), b.Len()
+	if n == 0 || m == 0 {
+		return Alignment{PAM: sm.PAM}
+	}
+	// Matrices: H best-ending-here, E gap-in-a (horizontal),
+	// F gap-in-b (vertical). Full matrices for traceback.
+	H := make([][]float64, n+1)
+	E := make([][]float64, n+1)
+	F := make([][]float64, n+1)
+	for i := 0; i <= n; i++ {
+		H[i] = make([]float64, m+1)
+		E[i] = make([]float64, m+1)
+		F[i] = make([]float64, m+1)
+	}
+	negInf := math.Inf(-1)
+	var best float64
+	bi, bj := 0, 0
+	for i := 1; i <= n; i++ {
+		E[i][0] = negInf
+		for j := 1; j <= m; j++ {
+			if i == 1 {
+				F[0][j] = negInf
+			}
+			E[i][j] = math.Max(E[i][j-1]+sm.GapExtend, H[i][j-1]+sm.GapOpen)
+			F[i][j] = math.Max(F[i-1][j]+sm.GapExtend, H[i-1][j]+sm.GapOpen)
+			h := H[i-1][j-1] + sm.S[a.Residues[i-1]][b.Residues[j-1]]
+			h = math.Max(h, E[i][j])
+			h = math.Max(h, F[i][j])
+			if h < 0 {
+				h = 0
+			}
+			H[i][j] = h
+			if h > best {
+				best, bi, bj = h, i, j
+			}
+		}
+	}
+	al := Alignment{Score: best, PAM: sm.PAM, Cells: int64(n) * int64(m)}
+	if best == 0 {
+		return al
+	}
+	// Three-state traceback from (bi,bj) until H hits 0 in match state.
+	i, j := bi, bj
+	var cols, ident int
+	const (
+		stM = iota // in H
+		stE        // horizontal gap (consuming b)
+		stF        // vertical gap (consuming a)
+	)
+	state := stM
+	for i > 0 && j > 0 {
+		switch state {
+		case stM:
+			h := H[i][j]
+			if h == 0 {
+				goto done
+			}
+			switch {
+			case h == E[i][j]:
+				state = stE
+			case h == F[i][j]:
+				state = stF
+			default: // substitution
+				if a.Residues[i-1] == b.Residues[j-1] {
+					ident++
+				}
+				i--
+				j--
+				cols++
+			}
+		case stE: // gap in a: consume b[j-1]
+			fromOpen := E[i][j] == H[i][j-1]+sm.GapOpen
+			j--
+			cols++
+			if fromOpen {
+				state = stM
+			}
+		case stF: // gap in b: consume a[i-1]
+			fromOpen := F[i][j] == H[i-1][j]+sm.GapOpen
+			i--
+			cols++
+			if fromOpen {
+				state = stM
+			}
+		}
+	}
+done:
+	al.AStart, al.AEnd = i, bi
+	al.BStart, al.BEnd = j, bj
+	al.Length = cols
+	if cols > 0 {
+		al.Identity = float64(ident) / float64(cols)
+	}
+	return al
+}
+
+// ScoreOnly computes just the optimal local-alignment score using linear
+// memory — the fast path used by the fixed-PAM pass over millions of
+// pairs.
+func ScoreOnly(a, b *Sequence, sm *ScoreMatrix) (score float64, cells int64) {
+	n, m := a.Len(), b.Len()
+	if n == 0 || m == 0 {
+		return 0, 0
+	}
+	negInf := math.Inf(-1)
+	H := make([]float64, m+1) // H[i-1][*] rolling into H[i][*]
+	F := make([]float64, m+1) // F[i][*] per column vertical gap state
+	for j := range F {
+		F[j] = negInf
+	}
+	var best float64
+	for i := 1; i <= n; i++ {
+		diag := H[0]
+		e := negInf
+		H[0] = 0
+		ra := a.Residues[i-1]
+		row := &sm.S[ra]
+		for j := 1; j <= m; j++ {
+			e = math.Max(e+sm.GapExtend, H[j-1]+sm.GapOpen)
+			F[j] = math.Max(F[j]+sm.GapExtend, H[j]+sm.GapOpen)
+			h := diag + row[b.Residues[j-1]]
+			if e > h {
+				h = e
+			}
+			if F[j] > h {
+				h = F[j]
+			}
+			if h < 0 {
+				h = 0
+			}
+			diag = H[j]
+			H[j] = h
+			if h > best {
+				best = h
+			}
+		}
+	}
+	return best, int64(n) * int64(m)
+}
+
+// RefineResult is the outcome of the PAM-parameter refinement.
+type RefineResult struct {
+	Alignment
+	// Evaluations counts how many full alignments the search ran.
+	Evaluations int
+}
+
+// RefinePAM finds the PAM distance maximizing the alignment score of a and
+// b (the paper's "alignment algorithm finding PAM distance maximizing
+// similarity") by golden-section search over [lo, hi].
+func RefinePAM(a, b *Sequence, lo, hi float64) RefineResult {
+	const phi = 0.6180339887498949
+	const tol = 2.0 // PAM distances are meaningful to ~2 units
+	eval := func(d float64) Alignment {
+		return Align(a, b, ScoreAt(d))
+	}
+	var res RefineResult
+	x1 := hi - phi*(hi-lo)
+	x2 := lo + phi*(hi-lo)
+	f1, f2 := eval(x1), eval(x2)
+	res.Evaluations = 2
+	res.Cells = f1.Cells + f2.Cells
+	for hi-lo > tol {
+		if f1.Score < f2.Score {
+			lo, x1, f1 = x1, x2, f2
+			x2 = lo + phi*(hi-lo)
+			f2 = eval(x2)
+		} else {
+			hi, x2, f2 = x2, x1, f1
+			x1 = hi - phi*(hi-lo)
+			f1 = eval(x1)
+		}
+		res.Evaluations++
+		res.Cells += int64(a.Len()) * int64(b.Len())
+	}
+	if f1.Score >= f2.Score {
+		cells := res.Cells
+		res.Alignment = f1
+		res.Cells = cells
+	} else {
+		cells := res.Cells
+		res.Alignment = f2
+		res.Cells = cells
+	}
+	return res
+}
+
+// Match records one significant pair found by the all-vs-all (§4: "the set
+// of all sequence pairs whose similarity scores reach a user-defined
+// threshold, along with some information about the characteristics of the
+// pairs").
+type Match struct {
+	A, B     int     // entry indices, A < B
+	Score    float64 // tenth-bits
+	PAM      float64 // refined distance estimate
+	Identity float64
+	Length   int // alignment columns
+}
+
+// SortByEntry orders matches by (A, B) — the paper's "Merge by Entry #".
+func SortByEntry(ms []Match) {
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].A != ms[j].A {
+			return ms[i].A < ms[j].A
+		}
+		return ms[i].B < ms[j].B
+	})
+}
+
+// SortByPAM orders matches by ascending PAM distance, breaking ties by
+// descending score — the paper's "Merge by PAM dist.".
+func SortByPAM(ms []Match) {
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].PAM != ms[j].PAM {
+			return ms[i].PAM < ms[j].PAM
+		}
+		return ms[i].Score > ms[j].Score
+	})
+}
+
+// MergeMatches concatenates per-partition match sets and deduplicates
+// pairs, keeping the highest-scoring record for each pair.
+func MergeMatches(sets ...[]Match) []Match {
+	type key struct{ a, b int }
+	bestOf := make(map[key]Match)
+	for _, set := range sets {
+		for _, m := range set {
+			k := key{m.A, m.B}
+			if prev, ok := bestOf[k]; !ok || m.Score > prev.Score {
+				bestOf[k] = m
+			}
+		}
+	}
+	out := make([]Match, 0, len(bestOf))
+	for _, m := range bestOf {
+		out = append(out, m)
+	}
+	SortByEntry(out)
+	return out
+}

@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"bioopera/internal/allvsall"
+	"bioopera/internal/cluster"
+	"bioopera/internal/core"
+	"bioopera/internal/sim"
+)
+
+// This file is the §3.3 ablation: "since checkpointing is done for
+// complete activities, smaller activities result in less work lost when
+// failures occur." We inject periodic node crashes into an all-vs-all run
+// and measure the CPU time wasted re-running lost activities, as a
+// function of the TEU granularity.
+
+// CheckpointOptions configure the ablation.
+type CheckpointOptions struct {
+	// N is the dataset size.
+	N int
+	// MeanLen is the mean sequence length.
+	MeanLen int
+	// TEUs lists the granularities to compare.
+	TEUs []int
+	// CrashEvery is the mean time between injected node crashes.
+	CrashEvery time.Duration
+	// Repair is how long a crashed node stays down.
+	Repair time.Duration
+	// Seed drives everything.
+	Seed int64
+}
+
+func (o *CheckpointOptions) fill() {
+	if o.N == 0 {
+		o.N = 4000
+	}
+	if o.MeanLen == 0 {
+		o.MeanLen = 200
+	}
+	if len(o.TEUs) == 0 {
+		o.TEUs = []int{4, 16, 64, 256}
+	}
+	if o.CrashEvery == 0 {
+		o.CrashEvery = 8 * time.Minute
+	}
+	if o.Repair == 0 {
+		o.Repair = 10 * time.Minute
+	}
+	if o.Seed == 0 {
+		o.Seed = 41
+	}
+}
+
+// CheckpointPoint is the outcome at one granularity.
+type CheckpointPoint struct {
+	TEUs      int
+	BaseCPU   time.Duration // CPU with no failures
+	FaultCPU  time.Duration // CPU with injected crashes
+	WastedCPU time.Duration // FaultCPU − BaseCPU: work lost and re-done
+	WALL      time.Duration
+	Failures  int
+}
+
+// CheckpointResult is the sweep.
+type CheckpointResult struct {
+	Options CheckpointOptions
+	Points  []CheckpointPoint
+}
+
+// Checkpoint runs the granularity-vs-lost-work ablation.
+func Checkpoint(opts CheckpointOptions) (*CheckpointResult, error) {
+	opts.fill()
+	res := &CheckpointResult{Options: opts}
+	ds := simDataset(opts.N, opts.MeanLen, opts.Seed)
+	for _, teus := range opts.TEUs {
+		base, err := checkpointRun(opts, ds.Name, teus, false)
+		if err != nil {
+			return nil, err
+		}
+		fault, err := checkpointRun(opts, ds.Name, teus, true)
+		if err != nil {
+			return nil, err
+		}
+		wasted := fault.CPU - base.CPU
+		if wasted < 0 {
+			wasted = 0
+		}
+		res.Points = append(res.Points, CheckpointPoint{
+			TEUs:      teus,
+			BaseCPU:   base.CPU,
+			FaultCPU:  fault.CPU,
+			WastedCPU: wasted,
+			WALL:      fault.WALL,
+			Failures:  fault.Failures,
+		})
+	}
+	return res, nil
+}
+
+type checkpointOutcome struct {
+	CPU      time.Duration
+	WALL     time.Duration
+	Failures int
+}
+
+func checkpointRun(opts CheckpointOptions, _ string, teus int, injectFaults bool) (*checkpointOutcome, error) {
+	ds := simDataset(opts.N, opts.MeanLen, opts.Seed)
+	cfg := &allvsall.Config{Dataset: ds, Simulate: true}
+	spec := cluster.IkLinux()
+	var rtp *core.SimRuntime
+	simCfg := core.SimConfig{Options: core.Options{OnInstanceDone: func(*core.Instance) {
+		if rtp != nil {
+			rtp.Sim.Stop()
+		}
+	}}}
+	rt, err := buildRuntime(opts.Seed, spec, cfg, simCfg)
+	if err != nil {
+		return nil, err
+	}
+	rtp = rt
+
+	if injectFaults {
+		names := make([]string, 0, len(spec.Nodes))
+		for _, n := range spec.Nodes {
+			names = append(names, n.Name)
+		}
+		var crashLoop func(sim.Time)
+		crashLoop = func(sim.Time) {
+			gap := time.Duration(rt.Sim.Rand().ExpFloat64() * float64(opts.CrashEvery))
+			if gap < time.Minute {
+				gap = time.Minute
+			}
+			rt.Sim.After(gap, func(sim.Time) {
+				victim := names[rt.Sim.Rand().Intn(len(names))]
+				rt.Cluster.CrashNode(victim)
+				rt.Sim.After(opts.Repair, func(now sim.Time) {
+					rt.Cluster.RestoreNode(victim)
+					crashLoop(now)
+				})
+			})
+		}
+		crashLoop(0)
+	}
+
+	id, err := startAllVsAll(rt, cfg, teus, false)
+	if err != nil {
+		return nil, err
+	}
+	rt.Run()
+	in, _ := rt.Engine.Instance(id)
+	if in.Status != core.InstanceDone {
+		return nil, fmt.Errorf("checkpoint teus=%d: %s (%s)", teus, in.Status, in.FailureReason)
+	}
+	return &checkpointOutcome{
+		CPU:      in.CPU,
+		WALL:     in.WALL(rt.Sim.Now()),
+		Failures: in.Failures,
+	}, nil
+}
+
+// Fprint renders the sweep.
+func (r *CheckpointResult) Fprint(w io.Writer) {
+	fmt.Fprintln(w, "§3.3 ablation — checkpoint granularity vs. work lost to failures")
+	fmt.Fprintf(w, "%d-entry all-vs-all on ik-linux, node crash every ≈%s (repair %s)\n\n",
+		r.Options.N, r.Options.CrashEvery, r.Options.Repair)
+	fmt.Fprintf(w, "%8s %12s %12s %12s %12s %9s\n", "# TEUs", "base CPU", "fault CPU", "wasted CPU", "WALL", "failures")
+	hline(w, 72)
+	for _, p := range r.Points {
+		fmt.Fprintf(w, "%8d %12s %12s %12s %12s %9d\n",
+			p.TEUs, p.BaseCPU.Round(time.Second), p.FaultCPU.Round(time.Second),
+			p.WastedCPU.Round(time.Second), p.WALL.Round(time.Second), p.Failures)
+	}
+	hline(w, 72)
+	fmt.Fprintln(w, `paper: "smaller activities result in less work lost when failures occur"`)
+}

@@ -1,0 +1,70 @@
+// Package experiments regenerates every measured artifact of the paper's
+// evaluation (§5): the granularity sweep of Fig. 4, the shared- and
+// non-shared-cluster all-vs-all lifecycles of Figs. 5/6 and Table 1, the
+// adaptive-monitoring claim of §3.4, and two ablations the paper discusses
+// (kill-and-restart migration, §5.4; checkpoint granularity, §3.3).
+//
+// All experiments run on the deterministic discrete-event runtime, so the
+// month-long computations of the paper replay in seconds and every run is
+// reproducible from its seed.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"bioopera/internal/allvsall"
+	"bioopera/internal/cluster"
+	"bioopera/internal/core"
+	"bioopera/internal/darwin"
+)
+
+// buildRuntime wires a simulation with the all-vs-all programs installed.
+func buildRuntime(seed int64, spec cluster.Spec, cfg *allvsall.Config, simCfg core.SimConfig) (*core.SimRuntime, error) {
+	lib := core.NewLibrary()
+	if err := allvsall.Register(lib, cfg); err != nil {
+		return nil, err
+	}
+	simCfg.Seed = seed
+	simCfg.Spec = spec
+	simCfg.Library = lib
+	rt, err := core.NewSimRuntime(simCfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := rt.Engine.RegisterTemplateSource(allvsall.Source); err != nil {
+		return nil, err
+	}
+	return rt, nil
+}
+
+// startAllVsAll launches the process and returns the instance ID.
+func startAllVsAll(rt *core.SimRuntime, cfg *allvsall.Config, teus int, nice bool) (string, error) {
+	return rt.Engine.StartProcess(allvsall.TemplateName, cfg.Inputs(teus), core.StartOptions{Nice: nice})
+}
+
+// days formats a duration in the paper's "Xd Yh Zm" style.
+func days(d time.Duration) string {
+	dd := int(d.Hours()) / 24
+	hh := int(d.Hours()) % 24
+	mm := int(d.Minutes()) % 60
+	return fmt.Sprintf("%dd %dh %dm", dd, hh, mm)
+}
+
+// secs formats a duration as integer seconds.
+func secs(d time.Duration) string { return fmt.Sprintf("%d", int(d.Seconds()+0.5)) }
+
+// hline draws a separator.
+func hline(w io.Writer, n int) {
+	for i := 0; i < n; i++ {
+		fmt.Fprint(w, "-")
+	}
+	fmt.Fprintln(w)
+}
+
+// simDataset builds the deterministic synthetic stand-in for a Swiss-Prot
+// release.
+func simDataset(n, meanLen int, seed int64) *darwin.Dataset {
+	return darwin.Generate(darwin.GenOptions{N: n, MeanLen: meanLen, Seed: seed})
+}

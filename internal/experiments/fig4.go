@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"bioopera/internal/allvsall"
+	"bioopera/internal/cluster"
+	"bioopera/internal/core"
+)
+
+// Fig4Options configure the granularity sweep of Fig. 4: a 500 vs. 500
+// all-vs-all on the ik-sun cluster in exclusive mode, varying the number
+// of task execution units.
+type Fig4Options struct {
+	// N is the dataset size (paper: 500 entries of SP38).
+	N int
+	// MeanLen is the mean sequence length (Swiss-Prot ≈ 360).
+	MeanLen int
+	// TEUs lists the granularities to sweep (paper: 1..500).
+	TEUs []int
+	// Seed drives dataset generation and the simulation.
+	Seed int64
+}
+
+func (o *Fig4Options) fill() {
+	if o.N == 0 {
+		o.N = 500
+	}
+	if o.MeanLen == 0 {
+		o.MeanLen = 360
+	}
+	if len(o.TEUs) == 0 {
+		o.TEUs = []int{1, 2, 5, 10, 15, 20, 30, 50, 100, 150, 200, 250, 300, 350, 400, 500}
+	}
+	if o.Seed == 0 {
+		o.Seed = 4
+	}
+}
+
+// Fig4Point is one row of the Fig. 4 table: CPU and WALL time for one
+// granularity.
+type Fig4Point struct {
+	TEUs int
+	CPU  time.Duration
+	WALL time.Duration
+}
+
+// Fig4Result is the whole sweep.
+type Fig4Result struct {
+	Options Fig4Options
+	CPUs    int // cluster size (5 for ik-sun)
+	Points  []Fig4Point
+	// OptimalTEUs is the granularity minimizing WALL time (paper: 20,
+	// ≈ 4× the number of CPUs — not 5, because of the straggler/merge-
+	// barrier effect).
+	OptimalTEUs int
+}
+
+// Fig4 runs the granularity sweep.
+func Fig4(opts Fig4Options) (*Fig4Result, error) {
+	opts.fill()
+	spec := cluster.IkSun()
+	ds := simDataset(opts.N, opts.MeanLen, opts.Seed)
+	res := &Fig4Result{Options: opts, CPUs: spec.TotalCPUs()}
+	for _, teus := range opts.TEUs {
+		cfg := &allvsall.Config{Dataset: ds, Simulate: true}
+		rt, err := buildRuntime(opts.Seed, spec, cfg, core.SimConfig{})
+		if err != nil {
+			return nil, err
+		}
+		id, err := startAllVsAll(rt, cfg, teus, false) // exclusive mode
+		if err != nil {
+			return nil, err
+		}
+		rt.Run()
+		in, _ := rt.Engine.Instance(id)
+		if in.Status != core.InstanceDone {
+			return nil, fmt.Errorf("fig4: teus=%d: %s (%s)", teus, in.Status, in.FailureReason)
+		}
+		res.Points = append(res.Points, Fig4Point{
+			TEUs: teus,
+			CPU:  in.CPU,
+			WALL: in.WALL(rt.Sim.Now()),
+		})
+	}
+	best := 0
+	for i, p := range res.Points {
+		if p.WALL < res.Points[best].WALL {
+			best = i
+		}
+	}
+	res.OptimalTEUs = res.Points[best].TEUs
+	return res, nil
+}
+
+// Segments splits the sweep into the paper's S1/S2/S3 regions around the
+// WALL minimum: S1 = falling, S2 = flat valley (within 25% of the
+// minimum), S3 = rising tail.
+func (r *Fig4Result) Segments() (s1End, s3Start int) {
+	minWall := r.Points[0].WALL
+	for _, p := range r.Points {
+		if p.WALL < minWall {
+			minWall = p.WALL
+		}
+	}
+	valley := time.Duration(float64(minWall) * 1.25)
+	s1End = r.Points[0].TEUs
+	for _, p := range r.Points {
+		if p.WALL <= valley {
+			s1End = p.TEUs
+			break
+		}
+	}
+	s3Start = r.Points[len(r.Points)-1].TEUs
+	for i := len(r.Points) - 1; i >= 0; i-- {
+		if r.Points[i].WALL <= valley {
+			if i+1 < len(r.Points) {
+				s3Start = r.Points[i+1].TEUs
+			}
+			break
+		}
+	}
+	return s1End, s3Start
+}
+
+// Fprint renders the table in the layout of the paper's Fig. 4.
+func (r *Fig4Result) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "Fig. 4 — Impact of the granularity level (# of TEUs) on CPU and WALL times\n")
+	fmt.Fprintf(w, "%d vs. %d all-vs-all on the %d-CPU ik-sun cluster (exclusive mode)\n\n", r.Options.N, r.Options.N, r.CPUs)
+	fmt.Fprintf(w, "%8s %10s %10s\n", "# TEUs", "CPU (s)", "WALL (s)")
+	hline(w, 30)
+	for _, p := range r.Points {
+		fmt.Fprintf(w, "%8d %10s %10s\n", p.TEUs, secs(p.CPU), secs(p.WALL))
+	}
+	hline(w, 30)
+	s1, s3 := r.Segments()
+	fmt.Fprintf(w, "optimal granularity: %d TEUs (%.0f× the %d CPUs)\n",
+		r.OptimalTEUs, float64(r.OptimalTEUs)/float64(r.CPUs), r.CPUs)
+	fmt.Fprintf(w, "segments: S1 ends ≈ %d TEUs, S3 begins ≈ %d TEUs\n", s1, s3)
+}

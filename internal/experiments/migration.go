@@ -1,0 +1,213 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"bioopera/internal/cluster"
+	"bioopera/internal/core"
+	"bioopera/internal/ocr"
+	"bioopera/internal/sched"
+	"bioopera/internal/sim"
+)
+
+// This file is the ablation the paper discusses but defers (§5.4): the
+// kill-and-restart migration strategy. "If the non-BioOpera user tends to
+// fill all machines, such a strategy will perform worse than if BioOpera
+// had simply left the TEU where it was. If however the user tends to use
+// only a subset of the processors, the kill and restart strategy may help
+// to improve the WALL time."
+
+// MigrationOptions configure the migration ablation.
+type MigrationOptions struct {
+	// Tasks is the number of long-running activities.
+	Tasks int
+	// TaskCost is each activity's reference-CPU cost.
+	TaskCost time.Duration
+	// Seed drives the simulation.
+	Seed int64
+}
+
+func (o *MigrationOptions) fill() {
+	if o.Tasks == 0 {
+		o.Tasks = 12
+	}
+	if o.TaskCost == 0 {
+		o.TaskCost = 30 * time.Minute
+	}
+	if o.Seed == 0 {
+		o.Seed = 31
+	}
+}
+
+// MigrationCell is one (pattern, policy) measurement.
+type MigrationCell struct {
+	Pattern  string // "subset" or "fill"
+	Policy   string // "leave-in-place" or "kill-and-restart"
+	WALL     time.Duration
+	Migrated int // jobs killed by the migration policy
+}
+
+// MigrationResult is the 2×2 ablation.
+type MigrationResult struct {
+	Options MigrationOptions
+	Cells   []MigrationCell
+}
+
+const migrationSrc = `
+PROCESS LongJobs {
+  INPUT xs;
+  OUTPUT done;
+  BLOCK Work PARALLEL OVER xs AS x {
+    MAP results -> done;
+    OUTPUT r;
+    ACTIVITY W {
+      CALL mig.work(x = x);
+      OUT r;
+      MAP r -> r;
+    }
+  }
+}
+`
+
+// Migration runs the 2×2 ablation: competing-load pattern × migration
+// policy.
+func Migration(opts MigrationOptions) (*MigrationResult, error) {
+	opts.fill()
+	res := &MigrationResult{Options: opts}
+	for _, pattern := range []string{"subset", "fill"} {
+		for _, policy := range []string{"leave-in-place", "kill-and-restart"} {
+			cell, err := runMigration(opts, pattern, policy)
+			if err != nil {
+				return nil, err
+			}
+			res.Cells = append(res.Cells, cell)
+		}
+	}
+	return res, nil
+}
+
+func runMigration(opts MigrationOptions, pattern, policy string) (MigrationCell, error) {
+	spec := cluster.Spec{Name: "mig"}
+	for i := 0; i < 8; i++ {
+		spec.Nodes = append(spec.Nodes, cluster.NodeSpec{
+			Name: fmt.Sprintf("m%02d", i), CPUs: 1, Speed: 1, OS: "linux",
+		})
+	}
+	lib := core.NewLibrary()
+	lib.Register(core.Program{
+		Name: "mig.work",
+		Run: func(_ core.ProgramCtx, args map[string]ocr.Value) (map[string]ocr.Value, error) {
+			return map[string]ocr.Value{"r": args["x"]}, nil
+		},
+		Cost: func(map[string]ocr.Value) time.Duration { return opts.TaskCost },
+	})
+	var rtp *core.SimRuntime
+	rt, err := core.NewSimRuntime(core.SimConfig{
+		Seed: opts.Seed, Spec: spec, Library: lib,
+		Options: core.Options{OnInstanceDone: func(*core.Instance) {
+			if rtp != nil {
+				rtp.Sim.Stop()
+			}
+		}},
+	})
+	if err != nil {
+		return MigrationCell{}, err
+	}
+	rtp = rt
+	if err := rt.Engine.RegisterTemplateSource(migrationSrc); err != nil {
+		return MigrationCell{}, err
+	}
+
+	// Competing load: either a long heavy burst on half the nodes, or
+	// periodic cluster-wide bursts.
+	switch pattern {
+	case "subset":
+		for i := 0; i < 4; i++ {
+			n := spec.Nodes[i].Name
+			rt.Sim.At(sim.Time(5*time.Minute), func(sim.Time) { rt.Cluster.SetExternalLoad(n, 0.95) })
+			rt.Sim.At(sim.Time(6*time.Hour), func(sim.Time) { rt.Cluster.SetExternalLoad(n, 0) })
+		}
+	case "fill":
+		var cycle func(on bool) sim.Handler
+		cycle = func(on bool) sim.Handler {
+			return func(sim.Time) {
+				lvl := 0.0
+				if on {
+					lvl = 0.95
+				}
+				for _, v := range rt.Cluster.Nodes() {
+					rt.Cluster.SetExternalLoad(v.Name, lvl)
+				}
+				rt.Sim.After(45*time.Minute, cycle(!on))
+			}
+		}
+		rt.Sim.At(sim.Time(5*time.Minute), cycle(true))
+	}
+
+	migrated := 0
+	if policy == "kill-and-restart" {
+		p := sched.MigrationPolicy{LoadThreshold: 0.6, TargetMaxLoad: 0.2}
+		if pattern == "fill" {
+			// The naive variant the paper warns about: migrate
+			// whenever any slot is free, regardless of the
+			// destination's load.
+			p.TargetMaxLoad = 1.0
+		}
+		rt.Sim.Every(10*time.Minute, func(sim.Time) {
+			migrated += rt.Engine.Migrate(p)
+		})
+	}
+
+	xs := make([]ocr.Value, opts.Tasks)
+	for i := range xs {
+		xs[i] = ocr.Int(i)
+	}
+	id, err := rt.Engine.StartProcess("LongJobs",
+		map[string]ocr.Value{"xs": ocr.List(xs...)},
+		core.StartOptions{Nice: true})
+	if err != nil {
+		return MigrationCell{}, err
+	}
+	rt.Run()
+	in, _ := rt.Engine.Instance(id)
+	if in.Status != core.InstanceDone {
+		return MigrationCell{}, fmt.Errorf("migration %s/%s: %s (%s)", pattern, policy, in.Status, in.FailureReason)
+	}
+	return MigrationCell{
+		Pattern:  pattern,
+		Policy:   policy,
+		WALL:     in.WALL(rt.Sim.Now()),
+		Migrated: migrated,
+	}, nil
+}
+
+// Cell returns the measurement for a pattern/policy pair.
+func (r *MigrationResult) Cell(pattern, policy string) *MigrationCell {
+	for i := range r.Cells {
+		if r.Cells[i].Pattern == pattern && r.Cells[i].Policy == policy {
+			return &r.Cells[i]
+		}
+	}
+	return nil
+}
+
+// Fprint renders the ablation.
+func (r *MigrationResult) Fprint(w io.Writer) {
+	fmt.Fprintln(w, "§5.4 ablation — kill-and-restart migration vs. leaving TEUs in place")
+	fmt.Fprintf(w, "%d tasks × %s on 8 single-CPU nodes, nice mode\n\n", r.Options.Tasks, r.Options.TaskCost)
+	fmt.Fprintf(w, "%-10s %-18s %12s %10s\n", "pattern", "policy", "WALL", "migrated")
+	hline(w, 56)
+	for _, c := range r.Cells {
+		fmt.Fprintf(w, "%-10s %-18s %12s %10d\n", c.Pattern, c.Policy, c.WALL.Round(time.Minute), c.Migrated)
+	}
+	hline(w, 56)
+	sub := r.Cell("subset", "kill-and-restart").WALL
+	subNone := r.Cell("subset", "leave-in-place").WALL
+	fill := r.Cell("fill", "kill-and-restart").WALL
+	fillNone := r.Cell("fill", "leave-in-place").WALL
+	fmt.Fprintf(w, "subset pattern: migration changes WALL by %+.0f%%\n", 100*(float64(sub)/float64(subNone)-1))
+	fmt.Fprintf(w, "fill pattern:   migration changes WALL by %+.0f%%\n", 100*(float64(fill)/float64(fillNone)-1))
+	fmt.Fprintln(w, `paper: migration helps when competitors use a subset of nodes, hurts when they fill all machines`)
+}

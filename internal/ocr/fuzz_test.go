@@ -1,0 +1,114 @@
+package ocr
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseExpr checks that expression parsing never panics and that any
+// successfully parsed expression reprints to a stable fixpoint.
+func FuzzParseExpr(f *testing.F) {
+	for _, seed := range []string{
+		"1 + 2 * 3",
+		"!defined(queue_file) && len(parts) > 0",
+		`concat("p-", i)`,
+		"[1, [2, 3], \"x\"][1][0]",
+		"a.b + c % 2 == 1",
+		"min(1,2,3) <= max(x, -y)",
+		"range(10)[i]",
+		"((((((1))))))",
+		"\"\\\"escaped\\\"\"",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		e, err := ParseExpr(src)
+		if err != nil {
+			return
+		}
+		printed := e.String()
+		e2, err := ParseExpr(printed)
+		if err != nil {
+			t.Fatalf("printed form does not reparse: %q -> %q: %v", src, printed, err)
+		}
+		if e2.String() != printed {
+			t.Fatalf("print not a fixpoint: %q -> %q -> %q", src, printed, e2.String())
+		}
+	})
+}
+
+// FuzzParseProcess checks that process parsing never panics and that any
+// successfully parsed process round-trips through the canonical printer.
+func FuzzParseProcess(f *testing.F) {
+	f.Add(allVsAllSrc)
+	f.Add(`PROCESS P { ACTIVITY A { CALL x.y(); } }`)
+	f.Add(`PROCESS P {
+  INPUT a;
+  OUTPUT b;
+  DATA d = [1,2];
+  BLOCK B ATOMIC PARALLEL OVER d AS e {
+    MAP results -> b;
+    OUTPUT o;
+    ACTIVITY W { CALL w.w(x = e); OUT o; MAP o -> o; UNDO w.undo; RETRY 2; }
+  }
+  ACTIVITY G { AWAIT "ev"; OUT p; MAP p -> c; ON FAILURE IGNORE; }
+  SUBPROCESS S USES "other" { IN a = c; OUT z; MAP z -> b; }
+  B -> G IF len(b) > 0;
+  G -> S;
+}`)
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<16 {
+			return // keep the fuzzer fast
+		}
+		p, err := ParseProcess(src)
+		if err != nil {
+			return
+		}
+		text := Format(p)
+		p2, err := ParseProcess(text)
+		if err != nil {
+			t.Fatalf("canonical form does not reparse: %v\n%s", err, text)
+		}
+		if Format(p2) != text {
+			t.Fatalf("Format not a fixpoint:\n--- first ---\n%s\n--- second ---\n%s", text, Format(p2))
+		}
+	})
+}
+
+// TestFuzzSeedsWithCorpusMutations runs a deterministic mini-fuzz over
+// mutations of the seed corpus, so CI exercises the property without the
+// fuzzing engine.
+func TestFuzzSeedsWithCorpusMutations(t *testing.T) {
+	seeds := []string{
+		allVsAllSrc,
+		`PROCESS P { ACTIVITY A { CALL x.y(); } }`,
+		`PROCESS Q { INPUT i; OUTPUT o; ACTIVITY A { AWAIT "e"; OUT o; MAP o -> o; } }`,
+	}
+	mutations := []func(string) string{
+		func(s string) string { return s },
+		strings.ToLower,
+		strings.ToUpper,
+		func(s string) string { return strings.ReplaceAll(s, ";", " ;") },
+		func(s string) string { return strings.ReplaceAll(s, "{", "{\n#c\n") },
+		func(s string) string { return s[:len(s)/2] },
+		func(s string) string { return s + "}" },
+		func(s string) string { return strings.ReplaceAll(s, "->", "→") },
+	}
+	for _, seed := range seeds {
+		for _, m := range mutations {
+			src := m(seed)
+			p, err := ParseProcess(src)
+			if err != nil {
+				continue // rejection is fine; panics are not
+			}
+			text := Format(p)
+			p2, err := ParseProcess(text)
+			if err != nil {
+				t.Fatalf("canonical reparse failed: %v\n%s", err, text)
+			}
+			if Format(p2) != text {
+				t.Fatal("format not a fixpoint under mutation")
+			}
+		}
+	}
+}

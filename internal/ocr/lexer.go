@@ -1,0 +1,222 @@
+package ocr
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// tokKind enumerates lexical token kinds for the OCR language.
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokPunct // one of the operator/punctuation spellings below
+)
+
+// token is one lexical token with its source position.
+type token struct {
+	kind tokKind
+	text string  // identifier spelling, punct spelling, or raw literal
+	num  float64 // valid when kind == tokNumber
+	str  string  // decoded value when kind == tokString
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokString:
+		return strconv.Quote(t.str)
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// puncts lists multi-character operators first so the lexer is greedy.
+var puncts = []string{
+	"->", "==", "!=", "<=", ">=", "&&", "||",
+	"{", "}", "(", ")", "[", "]", ",", ";", ".", "=", "!", "<", ">",
+	"+", "-", "*", "/", "%", ":",
+}
+
+// SyntaxError reports a lexical or parse error with position information.
+type SyntaxError struct {
+	Line, Col int
+	Msg       string
+}
+
+// Error implements error.
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("ocr: %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+// lexer converts OCR source into a token stream.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1, col: 1} }
+
+func (l *lexer) errorf(format string, args ...any) *SyntaxError {
+	return &SyntaxError{Line: l.line, Col: l.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) advance(n int) {
+	for i := 0; i < n && l.pos < len(l.src); i++ {
+		if l.src[l.pos] == '\n' {
+			l.line++
+			l.col = 1
+		} else {
+			l.col++
+		}
+		l.pos++
+	}
+}
+
+// skipSpace consumes whitespace and comments (# to end of line, and
+// /* ... */ blocks).
+func (l *lexer) skipSpace() error {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance(1)
+		case c == '#':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.advance(1)
+			}
+		case strings.HasPrefix(l.src[l.pos:], "//"):
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.advance(1)
+			}
+		case strings.HasPrefix(l.src[l.pos:], "/*"):
+			end := strings.Index(l.src[l.pos+2:], "*/")
+			if end < 0 {
+				return l.errorf("unterminated block comment")
+			}
+			l.advance(end + 4)
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	if err := l.skipSpace(); err != nil {
+		return token{}, err
+	}
+	tok := token{line: l.line, col: l.col}
+	if l.pos >= len(l.src) {
+		tok.kind = tokEOF
+		return tok, nil
+	}
+	c := l.src[l.pos]
+
+	// String literal.
+	if c == '"' {
+		start := l.pos
+		l.advance(1)
+		for l.pos < len(l.src) && l.src[l.pos] != '"' {
+			if l.src[l.pos] == '\\' {
+				l.advance(1)
+				if l.pos >= len(l.src) {
+					return tok, l.errorf("unterminated string literal")
+				}
+			}
+			if l.src[l.pos] == '\n' {
+				return tok, l.errorf("newline in string literal")
+			}
+			l.advance(1)
+		}
+		if l.pos >= len(l.src) {
+			return tok, l.errorf("unterminated string literal")
+		}
+		l.advance(1)
+		raw := l.src[start:l.pos]
+		s, err := strconv.Unquote(raw)
+		if err != nil {
+			return tok, &SyntaxError{Line: tok.line, Col: tok.col, Msg: fmt.Sprintf("bad string literal %s", raw)}
+		}
+		tok.kind = tokString
+		tok.text = raw
+		tok.str = s
+		return tok, nil
+	}
+
+	// Number literal.
+	if c >= '0' && c <= '9' {
+		start := l.pos
+		for l.pos < len(l.src) && (l.src[l.pos] >= '0' && l.src[l.pos] <= '9' || l.src[l.pos] == '.' ||
+			l.src[l.pos] == 'e' || l.src[l.pos] == 'E' ||
+			((l.src[l.pos] == '+' || l.src[l.pos] == '-') && l.pos > start && (l.src[l.pos-1] == 'e' || l.src[l.pos-1] == 'E'))) {
+			l.advance(1)
+		}
+		text := l.src[start:l.pos]
+		n, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return tok, &SyntaxError{Line: tok.line, Col: tok.col, Msg: fmt.Sprintf("bad number %q", text)}
+		}
+		tok.kind = tokNumber
+		tok.text = text
+		tok.num = n
+		return tok, nil
+	}
+
+	// Identifier / keyword.
+	if isIdentStart(c) {
+		start := l.pos
+		for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+			l.advance(1)
+		}
+		tok.kind = tokIdent
+		tok.text = l.src[start:l.pos]
+		return tok, nil
+	}
+
+	// Punctuation, greedy.
+	for _, p := range puncts {
+		if strings.HasPrefix(l.src[l.pos:], p) {
+			l.advance(len(p))
+			tok.kind = tokPunct
+			tok.text = p
+			return tok, nil
+		}
+	}
+	return tok, l.errorf("unexpected character %q", c)
+}
+
+// lexAll tokenizes the whole input (appending EOF), for the parsers.
+func lexAll(src string) ([]token, error) {
+	lx := newLexer(src)
+	var toks []token
+	for {
+		t, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.kind == tokEOF {
+			return toks, nil
+		}
+	}
+}

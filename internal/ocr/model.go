@@ -1,0 +1,234 @@
+package ocr
+
+import "fmt"
+
+// TaskKind distinguishes the three task categories of OCR (§3.1).
+type TaskKind uint8
+
+// Task kinds.
+const (
+	// KindActivity is a basic execution step bound to an external
+	// program.
+	KindActivity TaskKind = iota
+	// KindBlock is a named group of tasks, possibly a parallel task
+	// expanded once per element of a list at runtime.
+	KindBlock
+	// KindSubprocess is a late-bound reference to another process
+	// template.
+	KindSubprocess
+)
+
+// String returns the OCR keyword for the kind.
+func (k TaskKind) String() string {
+	switch k {
+	case KindActivity:
+		return "ACTIVITY"
+	case KindBlock:
+		return "BLOCK"
+	case KindSubprocess:
+		return "SUBPROCESS"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// FailureAction says what the navigator does when a task exhausts its
+// retries (§3.1: "sophisticated failure handlers as part of the process").
+type FailureAction uint8
+
+// Failure actions.
+const (
+	// FailAbort aborts the whole process instance (the default).
+	FailAbort FailureAction = iota
+	// FailIgnore marks the task ended with null outputs and continues.
+	FailIgnore
+	// FailAlternative runs the named alternative task instead.
+	FailAlternative
+)
+
+// String returns the OCR spelling of the action.
+func (a FailureAction) String() string {
+	switch a {
+	case FailAbort:
+		return "ABORT"
+	case FailIgnore:
+		return "IGNORE"
+	case FailAlternative:
+		return "ALTERNATIVE"
+	}
+	return fmt.Sprintf("action(%d)", uint8(a))
+}
+
+// Binding is a named argument: the expression is evaluated against the
+// enclosing scope when the task starts, and the result is passed to the
+// task's input data structure under Name.
+type Binding struct {
+	Name string
+	Expr Expr
+}
+
+// Mapping is one entry of a task's mapping phase: after successful
+// execution, output field From is copied to whiteboard entry To of the
+// enclosing scope.
+type Mapping struct {
+	From string
+	To   string
+}
+
+// DataDecl declares a whiteboard entry with an optional initializer
+// evaluated (over process inputs) when the instance starts.
+type DataDecl struct {
+	Name string
+	Init Expr // nil means start undefined (null)
+}
+
+// Task is one node of the process graph.
+type Task struct {
+	Name string
+	Kind TaskKind
+	Doc  string
+
+	// Activity fields.
+	Program string    // external binding, e.g. "darwin.align"
+	Args    []Binding // input data structure
+	// Undo names the compensation program run (with the activity's
+	// inputs and outputs) when an enclosing sphere of atomicity aborts
+	// after this activity completed (§3.1 "undo actions").
+	Undo string
+	// Await names an external event the activity waits for instead of
+	// calling a program (§3.1 "event handling"): the task completes
+	// when Engine.Signal delivers the event, with the signal's payload
+	// as its outputs. An activity has either CALL or AWAIT.
+	Await string
+
+	// Block fields.
+	Parallel bool     // parallel task (§3.3)
+	Atomic   bool     // sphere of atomicity (§3.1): all-or-nothing with undo
+	Over     Expr     // list expression producing the elements
+	As       string   // element variable name inside the body scope
+	Body     *Process // inline body
+
+	// Subprocess fields.
+	Uses string // template name, resolved against the template space at start (late binding)
+
+	// Common fields.
+	Outs     []string // declared output fields (activities; blocks derive theirs)
+	Maps     []Mapping
+	Retries  int
+	OnFail   FailureAction
+	AltTask  string // valid when OnFail == FailAlternative
+	Priority int
+	Cost     float64 // scheduler hint: expected CPU-seconds, 0 = unknown
+}
+
+// Connector is a control arc (T_S, T_T, C_Act): when the source task
+// finishes, Cond is evaluated over the whiteboard; a true (or absent)
+// condition satisfies the arc, a false one marks it dead, enabling
+// conditional branching with dead-path elimination.
+type Connector struct {
+	From string
+	To   string
+	Cond Expr // nil means TRUE
+}
+
+// Process is an OCR process: tasks plus control connectors plus the
+// whiteboard declarations through which data flows.
+type Process struct {
+	Name       string
+	Doc        string
+	Inputs     []string
+	Outputs    []string
+	Data       []DataDecl
+	Tasks      []*Task
+	Connectors []Connector
+}
+
+// Task returns the task with the given name, or nil.
+func (p *Process) Task(name string) *Task {
+	for _, t := range p.Tasks {
+		if t.Name == name {
+			return t
+		}
+	}
+	return nil
+}
+
+// Incoming returns the connectors targeting the named task.
+func (p *Process) Incoming(name string) []Connector {
+	var in []Connector
+	for _, c := range p.Connectors {
+		if c.To == name {
+			in = append(in, c)
+		}
+	}
+	return in
+}
+
+// Outgoing returns the connectors leaving the named task.
+func (p *Process) Outgoing(name string) []Connector {
+	var out []Connector
+	for _, c := range p.Connectors {
+		if c.From == name {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Roots returns tasks with no incoming connectors — the tasks the
+// navigator starts first.
+func (p *Process) Roots() []*Task {
+	hasIn := make(map[string]bool)
+	for _, c := range p.Connectors {
+		hasIn[c.To] = true
+	}
+	var roots []*Task
+	for _, t := range p.Tasks {
+		if !hasIn[t.Name] {
+			roots = append(roots, t)
+		}
+	}
+	return roots
+}
+
+// OutputFields returns the output field names a task exposes to bindings
+// and mappings: declared Outs for activities; "results" for parallel
+// blocks; the body's outputs for plain blocks; the referenced template's
+// outputs are unknown statically for subprocesses, so declared Outs are
+// used there too.
+func (t *Task) OutputFields() []string {
+	switch t.Kind {
+	case KindBlock:
+		if t.Parallel {
+			return []string{"results"}
+		}
+		if t.Body != nil {
+			return t.Body.Outputs
+		}
+	}
+	return t.Outs
+}
+
+// Clone returns a deep copy of the process. Expressions are immutable and
+// shared.
+func (p *Process) Clone() *Process {
+	if p == nil {
+		return nil
+	}
+	cp := &Process{
+		Name:       p.Name,
+		Doc:        p.Doc,
+		Inputs:     append([]string(nil), p.Inputs...),
+		Outputs:    append([]string(nil), p.Outputs...),
+		Data:       append([]DataDecl(nil), p.Data...),
+		Connectors: append([]Connector(nil), p.Connectors...),
+	}
+	for _, t := range p.Tasks {
+		tc := *t
+		tc.Args = append([]Binding(nil), t.Args...)
+		tc.Outs = append([]string(nil), t.Outs...)
+		tc.Maps = append([]Mapping(nil), t.Maps...)
+		tc.Body = t.Body.Clone()
+		cp.Tasks = append(cp.Tasks, &tc)
+	}
+	return cp
+}

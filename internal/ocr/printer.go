@@ -1,0 +1,182 @@
+package ocr
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Format renders a process in canonical OCR syntax. The output reparses
+// to an equivalent process (Format∘ParseProcess is the persistence format
+// of the template space).
+func Format(p *Process) string {
+	var sb strings.Builder
+	formatProcess(&sb, p, 0)
+	return sb.String()
+}
+
+func indent(sb *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		sb.WriteString("  ")
+	}
+}
+
+func formatProcess(sb *strings.Builder, p *Process, depth int) {
+	indent(sb, depth)
+	sb.WriteString("PROCESS ")
+	sb.WriteString(p.Name)
+	if p.Doc != "" {
+		sb.WriteString(" ")
+		sb.WriteString(strconv.Quote(p.Doc))
+	}
+	sb.WriteString(" {\n")
+	formatBody(sb, p, depth+1, false)
+	indent(sb, depth)
+	sb.WriteString("}\n")
+}
+
+func formatBody(sb *strings.Builder, p *Process, depth int, isBlock bool) {
+	if len(p.Inputs) > 0 && !isBlock {
+		indent(sb, depth)
+		fmt.Fprintf(sb, "INPUT %s;\n", strings.Join(p.Inputs, ", "))
+	}
+	if len(p.Outputs) > 0 {
+		indent(sb, depth)
+		fmt.Fprintf(sb, "OUTPUT %s;\n", strings.Join(p.Outputs, ", "))
+	}
+	for _, d := range p.Data {
+		indent(sb, depth)
+		if d.Init != nil {
+			fmt.Fprintf(sb, "DATA %s = %s;\n", d.Name, d.Init.String())
+		} else {
+			fmt.Fprintf(sb, "DATA %s;\n", d.Name)
+		}
+	}
+	for _, t := range p.Tasks {
+		formatTask(sb, t, depth)
+	}
+	for _, c := range p.Connectors {
+		indent(sb, depth)
+		if c.Cond != nil {
+			fmt.Fprintf(sb, "%s -> %s IF %s;\n", c.From, c.To, c.Cond.String())
+		} else {
+			fmt.Fprintf(sb, "%s -> %s;\n", c.From, c.To)
+		}
+	}
+}
+
+func formatCommon(sb *strings.Builder, t *Task, depth int) {
+	if t.Doc != "" {
+		indent(sb, depth)
+		fmt.Fprintf(sb, "DOC %s;\n", strconv.Quote(t.Doc))
+	}
+	if len(t.Maps) > 0 {
+		indent(sb, depth)
+		sb.WriteString("MAP ")
+		for i, m := range t.Maps {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(sb, "%s -> %s", m.From, m.To)
+		}
+		sb.WriteString(";\n")
+	}
+	if t.Retries != 0 {
+		indent(sb, depth)
+		fmt.Fprintf(sb, "RETRY %d;\n", t.Retries)
+	}
+	if t.Priority != 0 {
+		indent(sb, depth)
+		fmt.Fprintf(sb, "PRIORITY %d;\n", t.Priority)
+	}
+	if t.Cost != 0 {
+		indent(sb, depth)
+		fmt.Fprintf(sb, "COST %s;\n", Num(t.Cost).String())
+	}
+	switch t.OnFail {
+	case FailIgnore:
+		indent(sb, depth)
+		sb.WriteString("ON FAILURE IGNORE;\n")
+	case FailAlternative:
+		indent(sb, depth)
+		fmt.Fprintf(sb, "ON FAILURE ALTERNATIVE %s;\n", t.AltTask)
+	}
+}
+
+func formatTask(sb *strings.Builder, t *Task, depth int) {
+	switch t.Kind {
+	case KindActivity:
+		indent(sb, depth)
+		fmt.Fprintf(sb, "ACTIVITY %s {\n", t.Name)
+		if t.Await != "" {
+			indent(sb, depth+1)
+			fmt.Fprintf(sb, "AWAIT %s;\n", strconv.Quote(t.Await))
+		}
+		if t.Program != "" {
+			indent(sb, depth+1)
+			fmt.Fprintf(sb, "CALL %s(", t.Program)
+			for i, b := range t.Args {
+				if i > 0 {
+					sb.WriteString(", ")
+				}
+				fmt.Fprintf(sb, "%s = %s", b.Name, b.Expr.String())
+			}
+			sb.WriteString(");\n")
+		}
+		if len(t.Outs) > 0 {
+			indent(sb, depth+1)
+			fmt.Fprintf(sb, "OUT %s;\n", strings.Join(t.Outs, ", "))
+		}
+		if t.Undo != "" {
+			indent(sb, depth+1)
+			fmt.Fprintf(sb, "UNDO %s;\n", t.Undo)
+		}
+		formatCommon(sb, t, depth+1)
+		indent(sb, depth)
+		sb.WriteString("}\n")
+	case KindBlock:
+		indent(sb, depth)
+		fmt.Fprintf(sb, "BLOCK %s", t.Name)
+		if t.Atomic {
+			sb.WriteString(" ATOMIC")
+		}
+		if t.Parallel {
+			fmt.Fprintf(sb, " PARALLEL OVER %s AS %s", t.Over.String(), t.As)
+		}
+		sb.WriteString(" {\n")
+		formatCommon(sb, t, depth+1)
+		if t.Body != nil {
+			formatBody(sb, t.Body, depth+1, true)
+		}
+		indent(sb, depth)
+		sb.WriteString("}\n")
+	case KindSubprocess:
+		indent(sb, depth)
+		fmt.Fprintf(sb, "SUBPROCESS %s USES %s", t.Name, strconv.Quote(t.Uses))
+		if len(t.Args) == 0 && len(t.Outs) == 0 && len(t.Maps) == 0 &&
+			t.Retries == 0 && t.Priority == 0 && t.Cost == 0 &&
+			t.OnFail == FailAbort && t.Doc == "" {
+			sb.WriteString(";\n")
+			return
+		}
+		sb.WriteString(" {\n")
+		if len(t.Args) > 0 {
+			indent(sb, depth+1)
+			sb.WriteString("IN ")
+			for i, b := range t.Args {
+				if i > 0 {
+					sb.WriteString(", ")
+				}
+				fmt.Fprintf(sb, "%s = %s", b.Name, b.Expr.String())
+			}
+			sb.WriteString(";\n")
+		}
+		if len(t.Outs) > 0 {
+			indent(sb, depth+1)
+			fmt.Fprintf(sb, "OUT %s;\n", strings.Join(t.Outs, ", "))
+		}
+		formatCommon(sb, t, depth+1)
+		indent(sb, depth)
+		sb.WriteString("}\n")
+	}
+}

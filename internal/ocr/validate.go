@@ -1,0 +1,326 @@
+package ocr
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// reservedWords are keywords that cannot name tasks or data objects
+// because the parser could not re-read them.
+var reservedWords = map[string]bool{}
+
+func init() {
+	for _, kw := range []string{
+		kwProcess, kwInput, kwOutput, kwData, kwActivity, kwBlock,
+		kwSubprocess, kwCall, kwOut, kwMap, kwRetry, kwPriority,
+		kwCost, kwDoc, kwOn, kwFailure, kwAbort, kwIgnore,
+		kwAlternative, kwParallel, kwOver, kwAs, kwUses, kwIf, kwIn,
+		kwAtomic, kwUndo, kwAwait,
+		"true", "false", "null",
+	} {
+		reservedWords[strings.ToUpper(kw)] = true
+	}
+}
+
+func isReserved(name string) bool { return reservedWords[strings.ToUpper(name)] }
+
+// TemplateResolver looks up a process template by name; used to check
+// SUBPROCESS references. May be nil, in which case references are assumed
+// resolvable (they are late-bound anyway).
+type TemplateResolver func(name string) (*Process, bool)
+
+// Validate checks the static well-formedness of the process: unique
+// names, resolvable connector endpoints, acyclicity, plausible bindings
+// and mappings. It returns all problems found joined into one error.
+func (p *Process) Validate() error { return p.ValidateWithTemplates(nil) }
+
+// ValidateWithTemplates is Validate with subprocess-reference checking
+// against the given resolver.
+func (p *Process) ValidateWithTemplates(resolve TemplateResolver) error {
+	v := &validator{resolve: resolve}
+	v.process(p, nil, "")
+	return errors.Join(v.errs...)
+}
+
+type validator struct {
+	resolve TemplateResolver
+	errs    []error
+}
+
+func (v *validator) errorf(format string, args ...any) {
+	v.errs = append(v.errs, fmt.Errorf("ocr: "+format, args...))
+}
+
+// process validates p. parentNames is the set of whiteboard names visible
+// from an enclosing scope (for block bodies); path is a prefix for error
+// messages.
+func (v *validator) process(p *Process, parentNames map[string]bool, path string) {
+	where := p.Name
+	if path != "" {
+		where = path + "/" + p.Name
+	}
+	if p.Name == "" {
+		v.errorf("%s: process has no name", where)
+	}
+	if isReserved(p.Name) {
+		v.errorf("%s: process name %q is a reserved word", where, p.Name)
+	}
+
+	// Whiteboard names visible in this scope.
+	names := make(map[string]bool)
+	for k := range parentNames {
+		names[k] = true
+	}
+	for _, in := range p.Inputs {
+		if names[in] && parentNames[in] {
+			// inherited shadowing is fine
+		}
+		if isReserved(in) {
+			v.errorf("%s: input %q is a reserved word", where, in)
+		}
+		names[in] = true
+	}
+	seenData := make(map[string]bool)
+	for _, d := range p.Data {
+		if isReserved(d.Name) {
+			v.errorf("%s: data object %q is a reserved word", where, d.Name)
+		}
+		if seenData[d.Name] {
+			v.errorf("%s: duplicate DATA declaration %q", where, d.Name)
+		}
+		seenData[d.Name] = true
+		names[d.Name] = true
+	}
+
+	// Task names.
+	taskByName := make(map[string]*Task, len(p.Tasks))
+	for _, t := range p.Tasks {
+		if t.Name == "" {
+			v.errorf("%s: task with empty name", where)
+			continue
+		}
+		if isReserved(t.Name) {
+			v.errorf("%s: task name %q is a reserved word", where, t.Name)
+		}
+		if _, dup := taskByName[t.Name]; dup {
+			v.errorf("%s: duplicate task name %q", where, t.Name)
+			continue
+		}
+		taskByName[t.Name] = t
+	}
+
+	// Everything a MAP writes becomes a whiteboard name.
+	for _, t := range p.Tasks {
+		for _, m := range t.Maps {
+			names[m.To] = true
+		}
+		if t.Kind == KindBlock && t.Parallel && t.As != "" {
+			// As is visible only inside the body; handled below.
+			continue
+		}
+	}
+
+	// Connectors.
+	indegree := make(map[string]int)
+	adj := make(map[string][]string)
+	for _, c := range p.Connectors {
+		if _, ok := taskByName[c.From]; !ok {
+			v.errorf("%s: connector references unknown source task %q", where, c.From)
+			continue
+		}
+		if _, ok := taskByName[c.To]; !ok {
+			v.errorf("%s: connector references unknown target task %q", where, c.To)
+			continue
+		}
+		if c.From == c.To {
+			v.errorf("%s: connector %s -> %s is a self-loop", where, c.From, c.To)
+			continue
+		}
+		adj[c.From] = append(adj[c.From], c.To)
+		indegree[c.To]++
+		if c.Cond != nil {
+			v.exprRefs(c.Cond, names, taskByName, where, fmt.Sprintf("condition on %s -> %s", c.From, c.To))
+		}
+	}
+
+	// Acyclicity via Kahn's algorithm.
+	if len(v.errs) == 0 || true { // still meaningful with other errors
+		queue := make([]string, 0, len(taskByName))
+		deg := make(map[string]int, len(taskByName))
+		for name := range taskByName {
+			deg[name] = indegree[name]
+			if deg[name] == 0 {
+				queue = append(queue, name)
+			}
+		}
+		visited := 0
+		for len(queue) > 0 {
+			n := queue[0]
+			queue = queue[1:]
+			visited++
+			for _, m := range adj[n] {
+				deg[m]--
+				if deg[m] == 0 {
+					queue = append(queue, m)
+				}
+			}
+		}
+		if visited != len(taskByName) {
+			v.errorf("%s: control-flow graph contains a cycle", where)
+		}
+	}
+
+	// Per-task checks.
+	for _, t := range p.Tasks {
+		tw := where + "." + t.Name
+		switch t.Kind {
+		case KindActivity:
+			if t.Program == "" && t.Await == "" {
+				v.errorf("%s: activity has neither CALL nor AWAIT", tw)
+			}
+			if t.Program != "" && t.Await != "" {
+				v.errorf("%s: activity has both CALL and AWAIT", tw)
+			}
+			seenOut := make(map[string]bool)
+			for _, o := range t.Outs {
+				if seenOut[o] {
+					v.errorf("%s: duplicate OUT field %q", tw, o)
+				}
+				seenOut[o] = true
+			}
+			for _, b := range t.Args {
+				v.exprRefs(b.Expr, names, taskByName, where, fmt.Sprintf("argument %s of %s", b.Name, t.Name))
+			}
+		case KindBlock:
+			if t.Parallel {
+				if t.Over == nil {
+					v.errorf("%s: parallel block has no OVER expression", tw)
+				} else {
+					v.exprRefs(t.Over, names, taskByName, where, fmt.Sprintf("OVER of %s", t.Name))
+				}
+				if t.As == "" {
+					v.errorf("%s: parallel block has no AS variable", tw)
+				}
+			}
+			if t.Body == nil {
+				v.errorf("%s: block has no body", tw)
+			} else {
+				bodyNames := make(map[string]bool, len(names)+1)
+				for k := range names {
+					bodyNames[k] = true
+				}
+				if t.As != "" {
+					bodyNames[t.As] = true
+				}
+				v.process(t.Body, bodyNames, where)
+				if t.Parallel && len(t.Body.Outputs) == 0 {
+					v.errorf("%s: parallel block body declares no OUTPUT", tw)
+				}
+			}
+		case KindSubprocess:
+			if t.Uses == "" {
+				v.errorf("%s: subprocess has no USES reference", tw)
+			} else if v.resolve != nil {
+				ref, ok := v.resolve(t.Uses)
+				if !ok {
+					v.errorf("%s: subprocess references unknown template %q", tw, t.Uses)
+				} else {
+					// Arguments must match the template's inputs.
+					inputs := make(map[string]bool, len(ref.Inputs))
+					for _, in := range ref.Inputs {
+						inputs[in] = true
+					}
+					for _, b := range t.Args {
+						if !inputs[b.Name] {
+							v.errorf("%s: template %q has no input %q", tw, t.Uses, b.Name)
+						}
+					}
+					outputs := make(map[string]bool, len(ref.Outputs))
+					for _, o := range ref.Outputs {
+						outputs[o] = true
+					}
+					for _, m := range t.Maps {
+						if !outputs[m.From] {
+							v.errorf("%s: template %q has no output %q to MAP", tw, t.Uses, m.From)
+						}
+					}
+				}
+			}
+			for _, b := range t.Args {
+				v.exprRefs(b.Expr, names, taskByName, where, fmt.Sprintf("argument %s of %s", b.Name, t.Name))
+			}
+		}
+
+		// Mapping sources must be output fields where statically known.
+		fields := t.OutputFields()
+		if t.Kind != KindSubprocess || len(t.Outs) > 0 {
+			known := make(map[string]bool, len(fields))
+			for _, f := range fields {
+				known[f] = true
+			}
+			for _, m := range t.Maps {
+				if len(known) > 0 && !known[m.From] {
+					v.errorf("%s: MAP source %q is not an output field (have %s)", tw, m.From, strings.Join(fields, ", "))
+				}
+			}
+		}
+
+		// Failure handling.
+		if t.OnFail == FailAlternative {
+			if t.AltTask == "" {
+				v.errorf("%s: ON FAILURE ALTERNATIVE needs a task name", tw)
+			} else if t.AltTask == t.Name {
+				v.errorf("%s: alternative task is the task itself", tw)
+			} else if _, ok := taskByName[t.AltTask]; !ok {
+				v.errorf("%s: alternative task %q does not exist", tw, t.AltTask)
+			}
+		} else if t.AltTask != "" {
+			v.errorf("%s: ALTERNATIVE task set but ON FAILURE is %s", tw, t.OnFail)
+		}
+		if t.Retries < 0 {
+			v.errorf("%s: negative retry count", tw)
+		}
+	}
+
+	// Process outputs must be resolvable whiteboard names.
+	for _, o := range p.Outputs {
+		if !names[o] {
+			v.errorf("%s: OUTPUT %q is never defined (no input, DATA or MAP produces it)", where, o)
+		}
+	}
+}
+
+// exprRefs checks every name an expression reads: plain names must be
+// whiteboard entries; qualified names must be task.outputField.
+func (v *validator) exprRefs(e Expr, names map[string]bool, tasks map[string]*Task, where, ctx string) {
+	for _, r := range Refs(e) {
+		if dot := strings.IndexByte(r, '.'); dot >= 0 {
+			taskName, field := r[:dot], r[dot+1:]
+			t, ok := tasks[taskName]
+			if !ok {
+				v.errorf("%s: %s references unknown task %q", where, ctx, taskName)
+				continue
+			}
+			fields := t.OutputFields()
+			// Subprocess outputs may be unknown statically.
+			if t.Kind == KindSubprocess && len(fields) == 0 {
+				continue
+			}
+			found := false
+			for _, f := range fields {
+				if f == field {
+					found = true
+					break
+				}
+			}
+			if !found {
+				v.errorf("%s: %s references %s.%s but %s has outputs (%s)", where, ctx, taskName, field, taskName, strings.Join(fields, ", "))
+			}
+			continue
+		}
+		if !names[r] {
+			v.errorf("%s: %s references undefined name %q", where, ctx, r)
+		}
+	}
+}

@@ -1,0 +1,539 @@
+// Package store implements the BioOpera database.
+//
+// The paper's central dependability argument is that *everything* — process
+// templates, the execution state of running instances, the cluster
+// configuration, and the full history of past executions — lives in a
+// persistent store, so that the engine can resume month-long computations
+// after any failure. This package provides that store as four typed key →
+// value "spaces" (§3.2 of the paper):
+//
+//	Template      processes as defined by the user
+//	Instance      processes currently executing
+//	Configuration hardware/software description of the cluster
+//	History       records of completed processes and lineage metadata
+//
+// plus an append-only event journal used by monitoring and the lifecycle
+// figures.
+//
+// Two implementations are provided: Disk (WAL + snapshots, crash safe) and
+// Mem (for simulations and tests). Both satisfy Store.
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"bioopera/internal/wal"
+)
+
+// Space identifies one of the four BioOpera data spaces.
+type Space uint8
+
+// The four spaces of §3.2.
+const (
+	Template Space = iota
+	Instance
+	Configuration
+	History
+	numSpaces
+)
+
+// String returns the space name used in logs and errors.
+func (s Space) String() string {
+	switch s {
+	case Template:
+		return "template"
+	case Instance:
+		return "instance"
+	case Configuration:
+		return "configuration"
+	case History:
+		return "history"
+	}
+	return fmt.Sprintf("space(%d)", uint8(s))
+}
+
+// ErrClosed is returned by operations on a closed store.
+var ErrClosed = errors.New("store: closed")
+
+// KV is a key/value pair returned by List.
+type KV struct {
+	Key   string
+	Value []byte
+}
+
+// Event is one entry of the append-only journal.
+type Event struct {
+	Seq  uint64
+	Data []byte
+}
+
+// Store is the interface both backends implement.
+type Store interface {
+	// Put stores value under key in the given space, replacing any
+	// previous value.
+	Put(space Space, key string, value []byte) error
+	// Get returns the value under key, and whether it exists.
+	Get(space Space, key string) ([]byte, bool, error)
+	// Delete removes key from the space. Deleting a missing key is not
+	// an error.
+	Delete(space Space, key string) error
+	// List returns all pairs in the space, sorted by key.
+	List(space Space) ([]KV, error)
+	// AppendEvent adds a record to the journal and returns its sequence.
+	AppendEvent(data []byte) (uint64, error)
+	// Events calls fn for each journal record with sequence ≥ from.
+	Events(from uint64, fn func(Event) error) error
+	// Close releases resources. Disk stores flush first.
+	Close() error
+}
+
+// state is the in-memory image shared by both backends.
+type state struct {
+	spaces   [numSpaces]map[string][]byte
+	events   []Event
+	eventSeq uint64
+}
+
+func newState() *state {
+	var st state
+	for i := range st.spaces {
+		st.spaces[i] = make(map[string][]byte)
+	}
+	return &st
+}
+
+func (st *state) put(space Space, key string, value []byte) {
+	st.spaces[space][key] = append([]byte(nil), value...)
+}
+
+func (st *state) get(space Space, key string) ([]byte, bool) {
+	v, ok := st.spaces[space][key]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), v...), true
+}
+
+func (st *state) del(space Space, key string) { delete(st.spaces[space], key) }
+
+func (st *state) list(space Space) []KV {
+	m := st.spaces[space]
+	kvs := make([]KV, 0, len(m))
+	for k, v := range m {
+		kvs = append(kvs, KV{Key: k, Value: append([]byte(nil), v...)})
+	}
+	sort.Slice(kvs, func(i, j int) bool { return kvs[i].Key < kvs[j].Key })
+	return kvs
+}
+
+func (st *state) appendEvent(data []byte) uint64 {
+	st.eventSeq++
+	st.events = append(st.events, Event{Seq: st.eventSeq, Data: append([]byte(nil), data...)})
+	return st.eventSeq
+}
+
+func checkSpace(space Space) error {
+	if space >= numSpaces {
+		return fmt.Errorf("store: invalid space %d", space)
+	}
+	return nil
+}
+
+// Mem is a purely in-memory Store. It is safe for concurrent use.
+type Mem struct {
+	mu     sync.RWMutex
+	st     *state
+	closed bool
+}
+
+// NewMem returns an empty in-memory store.
+func NewMem() *Mem { return &Mem{st: newState()} }
+
+// Put implements Store.
+func (m *Mem) Put(space Space, key string, value []byte) error {
+	if err := checkSpace(space); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	m.st.put(space, key, value)
+	return nil
+}
+
+// Get implements Store.
+func (m *Mem) Get(space Space, key string) ([]byte, bool, error) {
+	if err := checkSpace(space); err != nil {
+		return nil, false, err
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if m.closed {
+		return nil, false, ErrClosed
+	}
+	v, ok := m.st.get(space, key)
+	return v, ok, nil
+}
+
+// Delete implements Store.
+func (m *Mem) Delete(space Space, key string) error {
+	if err := checkSpace(space); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	m.st.del(space, key)
+	return nil
+}
+
+// List implements Store.
+func (m *Mem) List(space Space) ([]KV, error) {
+	if err := checkSpace(space); err != nil {
+		return nil, err
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if m.closed {
+		return nil, ErrClosed
+	}
+	return m.st.list(space), nil
+}
+
+// AppendEvent implements Store.
+func (m *Mem) AppendEvent(data []byte) (uint64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return 0, ErrClosed
+	}
+	return m.st.appendEvent(data), nil
+}
+
+// Events implements Store.
+func (m *Mem) Events(from uint64, fn func(Event) error) error {
+	m.mu.RLock()
+	evs := m.st.events
+	closed := m.closed
+	m.mu.RUnlock()
+	if closed {
+		return ErrClosed
+	}
+	for _, e := range evs {
+		if e.Seq < from {
+			continue
+		}
+		if err := fn(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close implements Store.
+func (m *Mem) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = true
+	return nil
+}
+
+// walRecord is the JSON frame appended to the WAL for each mutation.
+type walRecord struct {
+	Op    string `json:"op"` // "put", "del", "event"
+	Space Space  `json:"sp,omitempty"`
+	Key   string `json:"k,omitempty"`
+	Value []byte `json:"v,omitempty"`
+}
+
+// snapshot is the JSON image written by Disk.Snapshot.
+type snapshot struct {
+	WALSeq   uint64                     `json:"walSeq"` // first WAL seq NOT in the snapshot
+	EventSeq uint64                     `json:"eventSeq"`
+	Spaces   [][]KV                     `json:"spaces"`
+	Events   []Event                    `json:"events"`
+	Extra    map[string]json.RawMessage `json:"extra,omitempty"`
+}
+
+const snapSuffix = ".snap"
+
+// Disk is a crash-safe Store backed by a WAL and periodic snapshots in a
+// directory. It is safe for concurrent use.
+type Disk struct {
+	mu     sync.RWMutex
+	dir    string
+	log    *wal.Log
+	st     *state
+	closed bool
+}
+
+// DiskOptions configure a Disk store.
+type DiskOptions struct {
+	// NoSync disables per-record fsync (used by experiments).
+	NoSync bool
+	// SegmentSize overrides the WAL segment rotation threshold.
+	SegmentSize int64
+}
+
+// OpenDisk opens or creates a disk store in dir, recovering state from the
+// latest snapshot plus the WAL tail.
+func OpenDisk(dir string, opts DiskOptions) (*Disk, error) {
+	l, err := wal.Open(filepath.Join(dir, "wal"), wal.Options{
+		NoSync:      opts.NoSync,
+		SegmentSize: opts.SegmentSize,
+	})
+	if err != nil {
+		return nil, err
+	}
+	d := &Disk{dir: dir, log: l, st: newState()}
+	from, err := d.loadSnapshot()
+	if err != nil {
+		l.Close()
+		return nil, err
+	}
+	err = l.Replay(from, func(r wal.Record) error {
+		var rec walRecord
+		if err := json.Unmarshal(r.Data, &rec); err != nil {
+			return fmt.Errorf("store: decoding wal record %d: %w", r.Seq, err)
+		}
+		d.apply(rec)
+		return nil
+	})
+	if err != nil {
+		l.Close()
+		return nil, err
+	}
+	return d, nil
+}
+
+// loadSnapshot restores the newest valid snapshot, returning the WAL
+// sequence to resume replay from.
+func (d *Disk) loadSnapshot() (uint64, error) {
+	entries, err := os.ReadDir(d.dir)
+	if err != nil {
+		return 1, fmt.Errorf("store: %w", err)
+	}
+	var snaps []uint64
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, snapSuffix) || !strings.HasPrefix(name, "snap-") {
+			continue
+		}
+		n, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "snap-"), snapSuffix), 10, 64)
+		if err == nil {
+			snaps = append(snaps, n)
+		}
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i] > snaps[j] }) // newest first
+	for _, n := range snaps {
+		path := filepath.Join(d.dir, fmt.Sprintf("snap-%020d%s", n, snapSuffix))
+		data, err := os.ReadFile(path)
+		if err != nil {
+			continue
+		}
+		var snap snapshot
+		if err := json.Unmarshal(data, &snap); err != nil {
+			continue // partially written snapshot; fall back to older
+		}
+		for i, kvs := range snap.Spaces {
+			if i >= int(numSpaces) {
+				break
+			}
+			for _, kv := range kvs {
+				d.st.spaces[i][kv.Key] = kv.Value
+			}
+		}
+		d.st.events = snap.Events
+		d.st.eventSeq = snap.EventSeq
+		return snap.WALSeq, nil
+	}
+	return 1, nil
+}
+
+func (d *Disk) apply(rec walRecord) {
+	switch rec.Op {
+	case "put":
+		if rec.Space < numSpaces {
+			d.st.put(rec.Space, rec.Key, rec.Value)
+		}
+	case "del":
+		if rec.Space < numSpaces {
+			d.st.del(rec.Space, rec.Key)
+		}
+	case "event":
+		d.st.appendEvent(rec.Value)
+	}
+}
+
+// append logs the mutation and applies it to memory under the write lock.
+func (d *Disk) append(rec walRecord) error {
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	if _, err := d.log.Append(data); err != nil {
+		return err
+	}
+	d.apply(rec)
+	return nil
+}
+
+// Put implements Store.
+func (d *Disk) Put(space Space, key string, value []byte) error {
+	if err := checkSpace(space); err != nil {
+		return err
+	}
+	return d.append(walRecord{Op: "put", Space: space, Key: key, Value: value})
+}
+
+// Get implements Store.
+func (d *Disk) Get(space Space, key string) ([]byte, bool, error) {
+	if err := checkSpace(space); err != nil {
+		return nil, false, err
+	}
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if d.closed {
+		return nil, false, ErrClosed
+	}
+	v, ok := d.st.get(space, key)
+	return v, ok, nil
+}
+
+// Delete implements Store.
+func (d *Disk) Delete(space Space, key string) error {
+	if err := checkSpace(space); err != nil {
+		return err
+	}
+	return d.append(walRecord{Op: "del", Space: space, Key: key})
+}
+
+// List implements Store.
+func (d *Disk) List(space Space) ([]KV, error) {
+	if err := checkSpace(space); err != nil {
+		return nil, err
+	}
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if d.closed {
+		return nil, ErrClosed
+	}
+	return d.st.list(space), nil
+}
+
+// AppendEvent implements Store.
+func (d *Disk) AppendEvent(data []byte) (uint64, error) {
+	rec := walRecord{Op: "event", Value: data}
+	enc, err := json.Marshal(rec)
+	if err != nil {
+		return 0, fmt.Errorf("store: %w", err)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return 0, ErrClosed
+	}
+	if _, err := d.log.Append(enc); err != nil {
+		return 0, err
+	}
+	return d.st.appendEvent(data), nil
+}
+
+// Events implements Store.
+func (d *Disk) Events(from uint64, fn func(Event) error) error {
+	d.mu.RLock()
+	if d.closed {
+		d.mu.RUnlock()
+		return ErrClosed
+	}
+	evs := make([]Event, 0, len(d.st.events))
+	for _, e := range d.st.events {
+		if e.Seq >= from {
+			evs = append(evs, e)
+		}
+	}
+	d.mu.RUnlock()
+	for _, e := range evs {
+		if err := fn(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Snapshot writes the full state to a snapshot file and garbage-collects
+// WAL segments that precede it.
+func (d *Disk) Snapshot() error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return ErrClosed
+	}
+	snap := snapshot{
+		WALSeq:   d.log.NextSeq(),
+		EventSeq: d.st.eventSeq,
+		Spaces:   make([][]KV, numSpaces),
+		Events:   append([]Event(nil), d.st.events...),
+	}
+	for i := Space(0); i < numSpaces; i++ {
+		snap.Spaces[i] = d.st.list(i)
+	}
+	d.mu.Unlock()
+
+	data, err := json.Marshal(snap)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	final := filepath.Join(d.dir, fmt.Sprintf("snap-%020d%s", snap.WALSeq, snapSuffix))
+	tmp := final + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := d.log.TruncateBefore(snap.WALSeq); err != nil {
+		return err
+	}
+	// Remove superseded snapshots.
+	entries, err := os.ReadDir(d.dir)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, snapSuffix) || name == filepath.Base(final) {
+			continue
+		}
+		os.Remove(filepath.Join(d.dir, name))
+	}
+	return nil
+}
+
+// Close flushes and closes the store.
+func (d *Disk) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil
+	}
+	d.closed = true
+	return d.log.Close()
+}

@@ -1,0 +1,365 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// backends returns both implementations so every behavioural test runs
+// against each.
+func backends(t *testing.T) map[string]func() Store {
+	return map[string]func() Store{
+		"mem": func() Store { return NewMem() },
+		"disk": func() Store {
+			d, err := OpenDisk(t.TempDir(), DiskOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return d
+		},
+	}
+}
+
+func TestPutGetDelete(t *testing.T) {
+	for name, mk := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			defer s.Close()
+			if err := s.Put(Template, "p1", []byte("def")); err != nil {
+				t.Fatal(err)
+			}
+			v, ok, err := s.Get(Template, "p1")
+			if err != nil || !ok || string(v) != "def" {
+				t.Fatalf("Get = (%q, %v, %v)", v, ok, err)
+			}
+			// Other spaces are isolated.
+			if _, ok, _ := s.Get(Instance, "p1"); ok {
+				t.Fatal("key leaked across spaces")
+			}
+			if err := s.Delete(Template, "p1"); err != nil {
+				t.Fatal(err)
+			}
+			if _, ok, _ := s.Get(Template, "p1"); ok {
+				t.Fatal("key survived delete")
+			}
+			// Deleting a missing key is fine.
+			if err := s.Delete(Template, "nope"); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestPutOverwrites(t *testing.T) {
+	for name, mk := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			defer s.Close()
+			s.Put(Instance, "k", []byte("v1"))
+			s.Put(Instance, "k", []byte("v2"))
+			v, _, _ := s.Get(Instance, "k")
+			if string(v) != "v2" {
+				t.Fatalf("got %q, want v2", v)
+			}
+		})
+	}
+}
+
+func TestListSorted(t *testing.T) {
+	for name, mk := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			defer s.Close()
+			for _, k := range []string{"zeta", "alpha", "mid"} {
+				s.Put(Configuration, k, []byte(k))
+			}
+			kvs, err := s.List(Configuration)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := []string{"alpha", "mid", "zeta"}
+			if len(kvs) != 3 {
+				t.Fatalf("List len = %d", len(kvs))
+			}
+			for i, kv := range kvs {
+				if kv.Key != want[i] {
+					t.Fatalf("List order %v", kvs)
+				}
+			}
+		})
+	}
+}
+
+func TestEvents(t *testing.T) {
+	for name, mk := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			defer s.Close()
+			for i := 0; i < 5; i++ {
+				seq, err := s.AppendEvent([]byte{byte(i)})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if seq != uint64(i+1) {
+					t.Fatalf("event seq = %d, want %d", seq, i+1)
+				}
+			}
+			var got []byte
+			if err := s.Events(3, func(e Event) error {
+				got = append(got, e.Data[0])
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, []byte{2, 3, 4}) {
+				t.Fatalf("Events(3) = %v", got)
+			}
+		})
+	}
+}
+
+func TestInvalidSpace(t *testing.T) {
+	s := NewMem()
+	if err := s.Put(Space(99), "k", nil); err == nil {
+		t.Fatal("Put to invalid space succeeded")
+	}
+	if _, _, err := s.Get(Space(99), "k"); err == nil {
+		t.Fatal("Get from invalid space succeeded")
+	}
+}
+
+func TestClosed(t *testing.T) {
+	for name, mk := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			s.Close()
+			if err := s.Put(Template, "k", nil); !errors.Is(err, ErrClosed) {
+				t.Fatalf("Put after close = %v, want ErrClosed", err)
+			}
+			if _, err := s.AppendEvent(nil); !errors.Is(err, ErrClosed) {
+				t.Fatalf("AppendEvent after close = %v", err)
+			}
+		})
+	}
+}
+
+func TestDiskRecovery(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDisk(dir, DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Put(Template, "allvsall", []byte("process"))
+	d.Put(Instance, "inst-1", []byte("running"))
+	d.Put(Instance, "inst-2", []byte("doomed"))
+	d.Delete(Instance, "inst-2")
+	d.AppendEvent([]byte("started"))
+	d.AppendEvent([]byte("node failed"))
+	d.Close()
+
+	d2, err := OpenDisk(dir, DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	v, ok, _ := d2.Get(Template, "allvsall")
+	if !ok || string(v) != "process" {
+		t.Fatalf("template lost: (%q,%v)", v, ok)
+	}
+	if _, ok, _ := d2.Get(Instance, "inst-2"); ok {
+		t.Fatal("deleted instance resurrected")
+	}
+	var n int
+	d2.Events(1, func(e Event) error { n++; return nil })
+	if n != 2 {
+		t.Fatalf("recovered %d events, want 2", n)
+	}
+	// Event sequence continues.
+	seq, _ := d2.AppendEvent([]byte("resumed"))
+	if seq != 3 {
+		t.Fatalf("event seq after recovery = %d, want 3", seq)
+	}
+}
+
+func TestSnapshotAndRecovery(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDisk(dir, DiskOptions{SegmentSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		d.Put(History, fmt.Sprintf("h-%02d", i), []byte(strings.Repeat("x", 20)))
+	}
+	d.AppendEvent([]byte("pre-snapshot"))
+	if err := d.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	// Post-snapshot mutations land in the WAL only.
+	d.Put(History, "post", []byte("after"))
+	d.Delete(History, "h-00")
+	d.AppendEvent([]byte("post-snapshot"))
+	d.Close()
+
+	d2, err := OpenDisk(dir, DiskOptions{SegmentSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	kvs, _ := d2.List(History)
+	if len(kvs) != 50 { // 50 - deleted h-00 + post
+		t.Fatalf("recovered %d history keys, want 50", len(kvs))
+	}
+	if _, ok, _ := d2.Get(History, "h-00"); ok {
+		t.Fatal("post-snapshot delete lost")
+	}
+	if v, ok, _ := d2.Get(History, "post"); !ok || string(v) != "after" {
+		t.Fatal("post-snapshot put lost")
+	}
+	var evs []string
+	d2.Events(1, func(e Event) error { evs = append(evs, string(e.Data)); return nil })
+	if len(evs) != 2 || evs[0] != "pre-snapshot" || evs[1] != "post-snapshot" {
+		t.Fatalf("events after snapshot recovery = %v", evs)
+	}
+}
+
+func TestSnapshotGCsWAL(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDisk(dir, DiskOptions{SegmentSize: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	for i := 0; i < 100; i++ {
+		d.Put(Instance, "k", bytes.Repeat([]byte{byte(i)}, 32))
+	}
+	before := countWALFiles(t, dir)
+	if before < 3 {
+		t.Fatalf("want several WAL segments before snapshot, got %d", before)
+	}
+	if err := d.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	after := countWALFiles(t, dir)
+	if after >= before {
+		t.Fatalf("snapshot did not GC WAL segments: %d -> %d", before, after)
+	}
+}
+
+func countWALFiles(t *testing.T, dir string) int {
+	t.Helper()
+	entries, err := os.ReadDir(filepath.Join(dir, "wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return len(entries)
+}
+
+func TestCorruptSnapshotFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	d, _ := OpenDisk(dir, DiskOptions{})
+	d.Put(Template, "k", []byte("v"))
+	if err := d.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+
+	// Corrupt the snapshot file: recovery should still work because the
+	// WAL was already truncated... so instead we verify graceful failure
+	// mode: a *partially written* (invalid JSON) snapshot alongside a
+	// complete WAL is skipped.
+	d2dir := t.TempDir()
+	d2, _ := OpenDisk(d2dir, DiskOptions{})
+	d2.Put(Template, "k", []byte("v"))
+	d2.Close()
+	// Write garbage pretending to be a newer snapshot.
+	os.WriteFile(filepath.Join(d2dir, "snap-99999999999999999999.snap"), []byte("{not json"), 0o644)
+	d3, err := OpenDisk(d2dir, DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d3.Close()
+	if v, ok, _ := d3.Get(Template, "k"); !ok || string(v) != "v" {
+		t.Fatal("corrupt snapshot prevented WAL recovery")
+	}
+}
+
+func TestValueIsolation(t *testing.T) {
+	// Mutating a slice returned by Get or passed to Put must not affect
+	// the stored value.
+	for name, mk := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			defer s.Close()
+			buf := []byte("original")
+			s.Put(Template, "k", buf)
+			buf[0] = 'X'
+			v, _, _ := s.Get(Template, "k")
+			if string(v) != "original" {
+				t.Fatal("Put aliased caller's buffer")
+			}
+			v[0] = 'Y'
+			v2, _, _ := s.Get(Template, "k")
+			if string(v2) != "original" {
+				t.Fatal("Get aliased internal buffer")
+			}
+		})
+	}
+}
+
+// Property: a random sequence of puts/deletes applied to both backends
+// leaves them with identical contents, and disk contents survive reopen.
+func TestBackendsEquivalentProperty(t *testing.T) {
+	type op struct {
+		Del   bool
+		Space uint8
+		Key   uint8
+		Val   byte
+	}
+	f := func(ops []op) bool {
+		dir := t.TempDir()
+		mem := NewMem()
+		disk, err := OpenDisk(dir, DiskOptions{SegmentSize: 256})
+		if err != nil {
+			return false
+		}
+		for _, o := range ops {
+			sp := Space(o.Space % uint8(numSpaces))
+			key := fmt.Sprintf("k%d", o.Key%8)
+			if o.Del {
+				mem.Delete(sp, key)
+				disk.Delete(sp, key)
+			} else {
+				mem.Put(sp, key, []byte{o.Val})
+				disk.Put(sp, key, []byte{o.Val})
+			}
+		}
+		disk.Close()
+		re, err := OpenDisk(dir, DiskOptions{SegmentSize: 256})
+		if err != nil {
+			return false
+		}
+		defer re.Close()
+		for sp := Space(0); sp < numSpaces; sp++ {
+			a, _ := mem.List(sp)
+			b, _ := re.List(sp)
+			if len(a) != len(b) {
+				return false
+			}
+			for i := range a {
+				if a[i].Key != b[i].Key || !bytes.Equal(a[i].Value, b[i].Value) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,230 @@
+package tower
+
+import (
+	"fmt"
+	"strings"
+
+	"bioopera/internal/darwin"
+)
+
+// This file holds the alignment-based middle floors of the tower:
+// pairwise PAM-distance estimation and the center-star progressive
+// multiple sequence alignment ("once a gap, always a gap").
+
+// Gap is the gap character used in alignments.
+const Gap = '-'
+
+// maxDistance caps the PAM distance assigned to unalignable pairs.
+const maxDistance = 300
+
+// DistanceMatrix estimates pairwise evolutionary distances (PAM) between
+// proteins using the refinement search of internal/darwin. Pairs whose
+// best score stays below threshold get the maximum distance.
+func DistanceMatrix(proteins []string, threshold float64) ([][]float64, error) {
+	seqs, err := parseAll(proteins)
+	if err != nil {
+		return nil, err
+	}
+	n := len(seqs)
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			res := darwin.RefinePAM(seqs[i], seqs[j], 5, maxDistance)
+			dist := res.PAM
+			if res.Score < threshold {
+				dist = maxDistance
+			}
+			d[i][j] = dist
+			d[j][i] = dist
+		}
+	}
+	return d, nil
+}
+
+func parseAll(proteins []string) ([]*darwin.Sequence, error) {
+	seqs := make([]*darwin.Sequence, len(proteins))
+	for i, p := range proteins {
+		s, err := darwin.ParseSequence(i, fmt.Sprintf("p%d", i), p)
+		if err != nil {
+			return nil, err
+		}
+		seqs[i] = s
+	}
+	return seqs, nil
+}
+
+// globalAlign is Needleman–Wunsch with affine-ish linear gaps over a
+// darwin score matrix, returning the two gapped strings.
+func globalAlign(a, b *darwin.Sequence, sm *darwin.ScoreMatrix) (string, string) {
+	n, m := a.Len(), b.Len()
+	gap := sm.GapExtend * 4 // linear gap cost for the global pass
+	H := make([][]float64, n+1)
+	for i := range H {
+		H[i] = make([]float64, m+1)
+	}
+	for i := 1; i <= n; i++ {
+		H[i][0] = float64(i) * gap
+	}
+	for j := 1; j <= m; j++ {
+		H[0][j] = float64(j) * gap
+	}
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= m; j++ {
+			best := H[i-1][j-1] + sm.S[a.Residues[i-1]][b.Residues[j-1]]
+			if v := H[i-1][j] + gap; v > best {
+				best = v
+			}
+			if v := H[i][j-1] + gap; v > best {
+				best = v
+			}
+			H[i][j] = best
+		}
+	}
+	// Traceback.
+	var ra, rb []byte
+	i, j := n, m
+	for i > 0 || j > 0 {
+		switch {
+		case i > 0 && j > 0 && H[i][j] == H[i-1][j-1]+sm.S[a.Residues[i-1]][b.Residues[j-1]]:
+			ra = append(ra, darwin.Alphabet[a.Residues[i-1]])
+			rb = append(rb, darwin.Alphabet[b.Residues[j-1]])
+			i--
+			j--
+		case i > 0 && H[i][j] == H[i-1][j]+gap:
+			ra = append(ra, darwin.Alphabet[a.Residues[i-1]])
+			rb = append(rb, Gap)
+			i--
+		default:
+			ra = append(ra, Gap)
+			rb = append(rb, darwin.Alphabet[b.Residues[j-1]])
+			j--
+		}
+	}
+	reverse(ra)
+	reverse(rb)
+	return string(ra), string(rb)
+}
+
+func reverse(b []byte) {
+	for i, j := 0, len(b)-1; i < j; i, j = i+1, j-1 {
+		b[i], b[j] = b[j], b[i]
+	}
+}
+
+// MultipleAlign builds a center-star multiple sequence alignment: the
+// sequence with the smallest total distance to the others is the center;
+// every other sequence is globally aligned to it and the pairwise
+// alignments are merged under "once a gap, always a gap". Rows come back
+// in input order, all the same length.
+func MultipleAlign(proteins []string, dist [][]float64) ([]string, error) {
+	n := len(proteins)
+	if n == 0 {
+		return nil, nil
+	}
+	if n == 1 {
+		return []string{proteins[0]}, nil
+	}
+	if len(dist) != n {
+		return nil, fmt.Errorf("tower: distance matrix is %d×?, want %d", len(dist), n)
+	}
+	seqs, err := parseAll(proteins)
+	if err != nil {
+		return nil, err
+	}
+	// Pick the center.
+	center := 0
+	best := totalDist(dist, 0)
+	for i := 1; i < n; i++ {
+		if t := totalDist(dist, i); t < best {
+			best = t
+			center = i
+		}
+	}
+	sm := darwin.ScoreAt(120)
+
+	// msaCenter holds the center row with gaps accumulated so far;
+	// rows[i] holds sequence i aligned against that evolving center.
+	msaCenter := proteins[center]
+	rows := make([]string, n)
+	rows[center] = msaCenter
+	for i := 0; i < n; i++ {
+		if i == center {
+			continue
+		}
+		ac, ai := globalAlign(seqs[center], seqs[i], sm)
+		// Merge (ac, ai) with the current msaCenter: both ac and
+		// msaCenter are gapped versions of the same center sequence.
+		newCenter, adjOld, adjNew := mergeCenters(msaCenter, ac)
+		// Re-pad all existing rows with adjOld, and the new row
+		// with adjNew.
+		for k := range rows {
+			if rows[k] != "" && k != i {
+				rows[k] = applyGaps(rows[k], adjOld)
+			}
+		}
+		rows[i] = applyGaps(ai, adjNew)
+		msaCenter = newCenter
+	}
+	// Final sanity: equal lengths.
+	for i, r := range rows {
+		if len(r) != len(msaCenter) {
+			return nil, fmt.Errorf("tower: MSA row %d has length %d, want %d", i, len(r), len(msaCenter))
+		}
+	}
+	return rows, nil
+}
+
+func totalDist(dist [][]float64, i int) float64 {
+	var t float64
+	for j := range dist[i] {
+		t += dist[i][j]
+	}
+	return t
+}
+
+// mergeCenters merges two gapped spellings of the same ungapped center
+// sequence into a common one, returning gap-insertion scripts for rows
+// aligned to each spelling. A script lists, for each output column,
+// which input column it came from (-1 = new gap).
+func mergeCenters(a, b string) (merged string, scriptA, scriptB []int) {
+	var sb strings.Builder
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		switch {
+		case i < len(a) && j < len(b) && a[i] != '-' && b[j] != '-':
+			// Both consume a residue (same residue by construction).
+			sb.WriteByte(a[i])
+			scriptA = append(scriptA, i)
+			scriptB = append(scriptB, j)
+			i++
+			j++
+		case i < len(a) && a[i] == '-':
+			sb.WriteByte('-')
+			scriptA = append(scriptA, i)
+			scriptB = append(scriptB, -1)
+			i++
+		default: // j < len(b) && b[j] == '-'
+			sb.WriteByte('-')
+			scriptA = append(scriptA, -1)
+			scriptB = append(scriptB, j)
+			j++
+		}
+	}
+	return sb.String(), scriptA, scriptB
+}
+
+// applyGaps re-spaces a row according to a merge script.
+func applyGaps(row string, script []int) string {
+	out := make([]byte, len(script))
+	for col, src := range script {
+		if src < 0 || src >= len(row) {
+			out[col] = Gap
+		} else {
+			out[col] = row[src]
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,244 @@
+// Package tower implements the "tower of information" of the paper's
+// Fig. 1 — the multi-step computational-biology pipeline that motivates
+// BioOpera: raw DNA → genes → proteins → pairwise alignments → distances →
+// multiple sequence alignment → phylogenetic tree → ancestral sequences →
+// secondary-structure prediction.
+//
+// Every step is implemented from scratch (ORF scanning, codon translation,
+// PAM-distance estimation via internal/darwin, center-star progressive
+// MSA, neighbour joining, Fitch parsimony, Chou–Fasman prediction) and
+// exposed both as plain functions and as BioOpera subprocess templates, so
+// the whole tower runs as one hierarchical process.
+package tower
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// DNA alphabet.
+const dnaBases = "ACGT"
+
+// codonTable maps codons to one-letter amino acids; "*" marks stop.
+var codonTable = map[string]byte{
+	"TTT": 'F', "TTC": 'F', "TTA": 'L', "TTG": 'L',
+	"CTT": 'L', "CTC": 'L', "CTA": 'L', "CTG": 'L',
+	"ATT": 'I', "ATC": 'I', "ATA": 'I', "ATG": 'M',
+	"GTT": 'V', "GTC": 'V', "GTA": 'V', "GTG": 'V',
+	"TCT": 'S', "TCC": 'S', "TCA": 'S', "TCG": 'S',
+	"CCT": 'P', "CCC": 'P', "CCA": 'P', "CCG": 'P',
+	"ACT": 'T', "ACC": 'T', "ACA": 'T', "ACG": 'T',
+	"GCT": 'A', "GCC": 'A', "GCA": 'A', "GCG": 'A',
+	"TAT": 'Y', "TAC": 'Y', "TAA": '*', "TAG": '*',
+	"CAT": 'H', "CAC": 'H', "CAA": 'Q', "CAG": 'Q',
+	"AAT": 'N', "AAC": 'N', "AAA": 'K', "AAG": 'K',
+	"GAT": 'D', "GAC": 'D', "GAA": 'E', "GAG": 'E',
+	"TGT": 'C', "TGC": 'C', "TGA": '*', "TGG": 'W',
+	"CGT": 'R', "CGC": 'R', "CGA": 'R', "CGG": 'R',
+	"AGT": 'S', "AGC": 'S', "AGA": 'R', "AGG": 'R',
+	"GGT": 'G', "GGC": 'G', "GGA": 'G', "GGG": 'G',
+}
+
+// GenomeOptions configure synthetic genome generation.
+type GenomeOptions struct {
+	// Genes is the number of planted genes.
+	Genes int
+	// MeanCodons is the mean gene length in codons. Default 120.
+	MeanCodons int
+	// Intergenic is the mean intergenic spacer length. Default 200.
+	Intergenic int
+	// Related makes later genes mutated copies of the first one, so
+	// the downstream tree is meaningful. Default true behaviour uses
+	// the flag directly.
+	Related bool
+	// Seed drives generation.
+	Seed int64
+}
+
+// GenerateGenome produces a synthetic DNA sequence with planted ORFs and
+// returns it along with the planted protein sequences (ground truth for
+// tests).
+func GenerateGenome(opts GenomeOptions) (dna string, proteins []string) {
+	if opts.MeanCodons <= 0 {
+		opts.MeanCodons = 120
+	}
+	if opts.Intergenic <= 0 {
+		opts.Intergenic = 200
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	var sb strings.Builder
+	var base []byte // codons of the first gene, for related copies
+	for g := 0; g < opts.Genes; g++ {
+		sb.WriteString(randIntergenic(rng, opts.Intergenic))
+		var codons []byte
+		if opts.Related && g > 0 && base != nil {
+			codons = mutateCodons(rng, base)
+		} else {
+			n := opts.MeanCodons/2 + rng.Intn(opts.MeanCodons)
+			codons = randCodons(rng, n)
+			if base == nil {
+				base = append([]byte(nil), codons...)
+			}
+		}
+		gene := "ATG" + string(codons) + stopCodon(rng)
+		proteins = append(proteins, translateORF(gene))
+		sb.WriteString(gene)
+	}
+	sb.WriteString(randIntergenic(rng, opts.Intergenic))
+	return sb.String(), proteins
+}
+
+// randIntergenic emits spacer DNA free of long same-frame ORFs by
+// sprinkling stop codons.
+func randIntergenic(rng *rand.Rand, mean int) string {
+	n := mean/2 + rng.Intn(mean+1)
+	var sb strings.Builder
+	for i := 0; i < n; i += 3 {
+		if rng.Intn(4) == 0 {
+			sb.WriteString("TAA")
+		} else {
+			for k := 0; k < 3; k++ {
+				sb.WriteByte(dnaBases[rng.Intn(4)])
+			}
+		}
+	}
+	return sb.String()
+}
+
+// preferredCodon picks one canonical codon per amino acid (the
+// alphabetically first), giving synthetic genes the codon-usage bias real
+// genes have — the signal the §6 gene-prediction bias scorer exploits.
+var preferredCodon = func() map[byte]string {
+	m := map[byte]string{}
+	for codon, aa := range codonTable {
+		if aa == '*' {
+			continue
+		}
+		if cur, ok := m[aa]; !ok || codon < cur {
+			m[aa] = codon
+		}
+	}
+	return m
+}()
+
+// geneBias is the probability a gene codon is the amino acid's preferred
+// codon (intergenic DNA has no such bias).
+const geneBias = 0.7
+
+// randCodons emits n random non-stop codons with gene-like codon bias.
+func randCodons(rng *rand.Rand, n int) []byte {
+	var out []byte
+	for len(out) < 3*n {
+		var c [3]byte
+		for k := range c {
+			c[k] = dnaBases[rng.Intn(4)]
+		}
+		s := string(c[:])
+		aa := codonTable[s]
+		if aa == '*' {
+			continue
+		}
+		if rng.Float64() < geneBias {
+			s = preferredCodon[aa]
+		}
+		out = append(out, s...)
+	}
+	return out
+}
+
+// mutateCodons applies random synonymous-ish point mutations to a codon
+// string, avoiding the creation of stop codons.
+func mutateCodons(rng *rand.Rand, codons []byte) []byte {
+	out := append([]byte(nil), codons...)
+	for i := 0; i+2 < len(out); i += 3 {
+		if rng.Float64() > 0.3 {
+			continue
+		}
+		pos := i + rng.Intn(3)
+		old := out[pos]
+		out[pos] = dnaBases[rng.Intn(4)]
+		if codonTable[string(out[i:i+3])] == '*' {
+			out[pos] = old
+		}
+	}
+	return out
+}
+
+func stopCodon(rng *rand.Rand) string {
+	return []string{"TAA", "TAG", "TGA"}[rng.Intn(3)]
+}
+
+// ORF is one open reading frame found in a genome.
+type ORF struct {
+	Start int // index of the ATG
+	End   int // index just past the stop codon
+	Frame int // 0..2
+	DNA   string
+}
+
+// FindORFs scans the forward strand in all three frames for
+// ATG-to-stop open reading frames of at least minCodons codons
+// (including the start, excluding the stop).
+func FindORFs(dna string, minCodons int) []ORF {
+	dna = strings.ToUpper(dna)
+	var orfs []ORF
+	for frame := 0; frame < 3; frame++ {
+		i := frame
+		for i+2 < len(dna) {
+			if dna[i:i+3] != "ATG" {
+				i += 3
+				continue
+			}
+			// Scan for an in-frame stop.
+			j := i + 3
+			for ; j+2 < len(dna); j += 3 {
+				if codonTable[dna[j:j+3]] == '*' {
+					break
+				}
+			}
+			if j+2 < len(dna) { // found a stop
+				codons := (j - i) / 3
+				if codons >= minCodons {
+					orfs = append(orfs, ORF{
+						Start: i, End: j + 3, Frame: frame,
+						DNA: dna[i : j+3],
+					})
+				}
+				i = j + 3
+			} else {
+				break // ran off the end without a stop
+			}
+		}
+	}
+	return orfs
+}
+
+// translateORF translates an ATG..stop ORF, dropping the stop.
+func translateORF(orf string) string {
+	var sb strings.Builder
+	for i := 0; i+2 < len(orf); i += 3 {
+		aa := codonTable[orf[i:i+3]]
+		if aa == '*' {
+			break
+		}
+		sb.WriteByte(aa)
+	}
+	return sb.String()
+}
+
+// Translate converts a gene DNA sequence (ATG..stop) to its protein.
+// It errors on non-ACGT characters or length not a multiple of 3 before
+// the stop.
+func Translate(gene string) (string, error) {
+	gene = strings.ToUpper(gene)
+	for i := 0; i < len(gene); i++ {
+		if !strings.ContainsRune(dnaBases, rune(gene[i])) {
+			return "", fmt.Errorf("tower: invalid base %q at %d", gene[i], i)
+		}
+	}
+	if len(gene) < 6 {
+		return "", fmt.Errorf("tower: gene too short (%d bases)", len(gene))
+	}
+	return translateORF(gene), nil
+}

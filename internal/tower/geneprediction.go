@@ -1,0 +1,359 @@
+package tower
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"bioopera/internal/core"
+	"bioopera/internal/ocr"
+)
+
+// This file implements the gene-prediction package the paper names as
+// future work (§6: "we have begun a gene prediction package. As each new
+// genome is made available, the process will apply several existing and
+// new gene finding algorithms to the raw DNA dataset"). Two finders run in
+// parallel branches of a BioOpera process and a consensus step merges
+// them:
+//
+//   - the strict finder: forward-strand ORFs of at least min codons
+//     (FindORFs);
+//   - the lenient finder: both strands, a lower length threshold, each
+//     candidate scored by codon-usage bias (real genes share the genome's
+//     codon bias; random open frames do not);
+//   - consensus: candidates found by both finders, plus lenient-only
+//     candidates whose bias score clears a threshold.
+
+// ReverseComplement returns the reverse complement of a DNA string.
+func ReverseComplement(dna string) string {
+	comp := map[byte]byte{'A': 'T', 'T': 'A', 'C': 'G', 'G': 'C'}
+	out := make([]byte, len(dna))
+	for i := 0; i < len(dna); i++ {
+		c, ok := comp[dna[len(dna)-1-i]]
+		if !ok {
+			c = 'N'
+		}
+		out[i] = c
+	}
+	return string(out)
+}
+
+// ScoredORF is a gene candidate with its codon-bias score.
+type ScoredORF struct {
+	ORF
+	// Strand is +1 for the forward strand, -1 for the reverse.
+	Strand int
+	// Bias is the mean per-codon log2 odds of the candidate's codon
+	// usage against the uniform synonymous baseline; higher = more
+	// gene-like.
+	Bias float64
+}
+
+// FindORFsBothStrands scans both strands for ORFs.
+func FindORFsBothStrands(dna string, minCodons int) []ScoredORF {
+	var out []ScoredORF
+	for _, o := range FindORFs(dna, minCodons) {
+		out = append(out, ScoredORF{ORF: o, Strand: +1})
+	}
+	rc := ReverseComplement(strings.ToUpper(dna))
+	for _, o := range FindORFs(rc, minCodons) {
+		out = append(out, ScoredORF{ORF: o, Strand: -1})
+	}
+	return out
+}
+
+// synonymousCounts maps each amino acid to its codon count (for the
+// uniform baseline).
+var synonymousCounts = func() map[byte]int {
+	m := map[byte]int{}
+	for _, aa := range codonTable {
+		m[aa]++
+	}
+	return m
+}()
+
+// ScoreCodonBias ranks candidates by self-trained codon bias: codon usage
+// frequencies are estimated from the whole candidate set (dominated by
+// real genes when the genome has them), and each candidate scores the mean
+// log2 odds of its codons against the uniform-synonymous baseline.
+func ScoreCodonBias(candidates []ScoredORF) []ScoredORF {
+	// Estimate codon usage over all candidates.
+	usage := map[string]float64{}
+	var total float64
+	for _, c := range candidates {
+		for i := 3; i+2 < len(c.DNA)-3; i += 3 { // skip start and stop
+			usage[c.DNA[i:i+3]]++
+			total++
+		}
+	}
+	if total == 0 {
+		return candidates
+	}
+	out := make([]ScoredORF, len(candidates))
+	for k, c := range candidates {
+		var score float64
+		var n int
+		for i := 3; i+2 < len(c.DNA)-3; i += 3 {
+			codon := c.DNA[i : i+3]
+			aa := codonTable[codon]
+			syn := synonymousCounts[aa]
+			if syn == 0 {
+				continue
+			}
+			observed := (usage[codon] + 0.5) / (total + 0.5*64)
+			// Baseline: this amino acid's frequency split evenly
+			// among its synonymous codons.
+			var aaFreq float64
+			for cod, a := range codonTable {
+				if a == aa {
+					aaFreq += (usage[cod] + 0.5) / (total + 0.5*64)
+				}
+			}
+			baseline := aaFreq / float64(syn)
+			if baseline > 0 && observed > 0 {
+				score += math.Log2(observed / baseline)
+				n++
+			}
+		}
+		c.Bias = 0
+		if n > 0 {
+			c.Bias = score / float64(n)
+		}
+		out[k] = c
+	}
+	return out
+}
+
+// Consensus merges the two finders' candidate sets: every strict hit is a
+// gene; lenient-only hits count when their bias clears biasCut. Results
+// are sorted by genome position and de-duplicated by (start, end, strand).
+func Consensus(strict []ORF, lenient []ScoredORF, biasCut float64) []ScoredORF {
+	type key struct {
+		start, end, strand int
+	}
+	seen := map[key]bool{}
+	strictSet := map[key]bool{}
+	for _, o := range strict {
+		strictSet[key{o.Start, o.End, +1}] = true
+	}
+	var out []ScoredORF
+	add := func(c ScoredORF) {
+		k := key{c.Start, c.End, c.Strand}
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, c)
+		}
+	}
+	for _, c := range lenient {
+		k := key{c.Start, c.End, c.Strand}
+		if strictSet[k] || c.Bias >= biasCut {
+			add(c)
+		}
+	}
+	// Strict hits the lenient scan somehow missed (shouldn't happen
+	// with a lower lenient threshold, but be safe).
+	for _, o := range strict {
+		add(ScoredORF{ORF: o, Strand: +1})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].Strand > out[j].Strand
+	})
+	return out
+}
+
+// GenePredictionTemplate is the parent template name.
+const GenePredictionTemplate = "GenePrediction"
+
+// GenePredictionSource is the OCR definition: two finders in parallel
+// branches, bias scoring on the lenient branch, and a consensus merge.
+const GenePredictionSource = `
+PROCESS GenePrediction "Apply several gene-finding algorithms and merge (paper §6)" {
+  INPUT dna, min_codons, bias_cut;
+  OUTPUT genes, proteins;
+
+  ACTIVITY StrictFinder {
+    DOC "Forward-strand ORF scan at full length threshold";
+    CALL genes.strict(dna = dna, min = min_codons);
+    OUT candidates;
+    MAP candidates -> strict_hits;
+    RETRY 1;
+  }
+
+  ACTIVITY LenientFinder {
+    DOC "Both strands, lower threshold";
+    CALL genes.lenient(dna = dna, min = min_codons);
+    OUT candidates;
+    MAP candidates -> lenient_hits;
+    RETRY 1;
+  }
+
+  ACTIVITY BiasScore {
+    DOC "Codon-usage bias scoring of the lenient candidates";
+    CALL genes.bias(candidates = lenient_hits);
+    OUT scored;
+    MAP scored -> scored_hits;
+  }
+
+  ACTIVITY Merge {
+    DOC "Consensus of the finders";
+    CALL genes.consensus(strict = strict_hits, scored = scored_hits, cut = bias_cut);
+    OUT genes, proteins;
+    MAP genes -> genes, proteins -> proteins;
+  }
+
+  LenientFinder -> BiasScore;
+  StrictFinder -> Merge;
+  BiasScore -> Merge;
+}
+`
+
+// orf value encoding: [start, end, strand, bias, dna].
+func orfValue(c ScoredORF) ocr.Value {
+	return ocr.List(ocr.Int(c.Start), ocr.Int(c.End), ocr.Int(c.Strand), ocr.Num(c.Bias), ocr.Str(c.DNA))
+}
+
+func orfFromValue(v ocr.Value) (ScoredORF, error) {
+	if v.Kind() != ocr.KindList || v.Len() != 5 {
+		return ScoredORF{}, fmt.Errorf("tower: bad ORF record %v", v)
+	}
+	return ScoredORF{
+		ORF: ORF{
+			Start: v.At(0).AsInt(),
+			End:   v.At(1).AsInt(),
+			DNA:   v.At(4).AsStr(),
+		},
+		Strand: v.At(2).AsInt(),
+		Bias:   v.At(3).AsNum(),
+	}, nil
+}
+
+func orfsValue(cs []ScoredORF) ocr.Value {
+	vs := make([]ocr.Value, len(cs))
+	for i, c := range cs {
+		vs[i] = orfValue(c)
+	}
+	return ocr.List(vs...)
+}
+
+func orfsFromValue(v ocr.Value) ([]ScoredORF, error) {
+	if v.Kind() != ocr.KindList {
+		return nil, fmt.Errorf("tower: ORF set is %s", v.Kind())
+	}
+	out := make([]ScoredORF, v.Len())
+	for i := range out {
+		c, err := orfFromValue(v.At(i))
+		if err != nil {
+			return nil, err
+		}
+		out[i] = c
+	}
+	return out, nil
+}
+
+// RegisterGenePrediction installs the genes.* programs.
+func RegisterGenePrediction(lib *core.Library) error {
+	programs := []core.Program{
+		{
+			Name: "genes.strict",
+			Run: func(_ core.ProgramCtx, args map[string]ocr.Value) (map[string]ocr.Value, error) {
+				min := args["min"].AsInt()
+				if min <= 0 {
+					min = 40
+				}
+				var out []ScoredORF
+				for _, o := range FindORFs(args["dna"].AsStr(), min) {
+					out = append(out, ScoredORF{ORF: o, Strand: +1})
+				}
+				return map[string]ocr.Value{"candidates": orfsValue(out)}, nil
+			},
+			Cost: func(args map[string]ocr.Value) time.Duration {
+				return scaledCost(len(args["dna"].AsStr()), 40*time.Microsecond)
+			},
+		},
+		{
+			Name: "genes.lenient",
+			Run: func(_ core.ProgramCtx, args map[string]ocr.Value) (map[string]ocr.Value, error) {
+				min := args["min"].AsInt()
+				if min <= 0 {
+					min = 40
+				}
+				lenientMin := min / 2
+				if lenientMin < 10 {
+					lenientMin = 10
+				}
+				return map[string]ocr.Value{
+					"candidates": orfsValue(FindORFsBothStrands(args["dna"].AsStr(), lenientMin)),
+				}, nil
+			},
+			Cost: func(args map[string]ocr.Value) time.Duration {
+				return scaledCost(2*len(args["dna"].AsStr()), 40*time.Microsecond)
+			},
+		},
+		{
+			Name: "genes.bias",
+			Run: func(_ core.ProgramCtx, args map[string]ocr.Value) (map[string]ocr.Value, error) {
+				cs, err := orfsFromValue(args["candidates"])
+				if err != nil {
+					return nil, err
+				}
+				return map[string]ocr.Value{"scored": orfsValue(ScoreCodonBias(cs))}, nil
+			},
+			Cost: func(args map[string]ocr.Value) time.Duration {
+				return scaledCost(args["candidates"].Len(), 5*time.Millisecond)
+			},
+		},
+		{
+			Name: "genes.consensus",
+			Run: func(_ core.ProgramCtx, args map[string]ocr.Value) (map[string]ocr.Value, error) {
+				strictHits, err := orfsFromValue(args["strict"])
+				if err != nil {
+					return nil, err
+				}
+				scored, err := orfsFromValue(args["scored"])
+				if err != nil {
+					return nil, err
+				}
+				var strictORFs []ORF
+				for _, c := range strictHits {
+					strictORFs = append(strictORFs, c.ORF)
+				}
+				cut := args["cut"].AsNum()
+				genes := Consensus(strictORFs, scored, cut)
+				proteins := make([]ocr.Value, len(genes))
+				for i, g := range genes {
+					proteins[i] = ocr.Str(translateORF(g.DNA))
+				}
+				return map[string]ocr.Value{
+					"genes":    orfsValue(genes),
+					"proteins": ocr.List(proteins...),
+				}, nil
+			},
+			Cost: func(args map[string]ocr.Value) time.Duration {
+				return scaledCost(args["scored"].Len(), time.Millisecond)
+			},
+		},
+	}
+	for _, p := range programs {
+		if err := lib.Register(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// GenePredictionInputs builds the process inputs.
+func GenePredictionInputs(dna string, minCodons int, biasCut float64) map[string]ocr.Value {
+	return map[string]ocr.Value{
+		"dna":        ocr.Str(dna),
+		"min_codons": ocr.Int(minCodons),
+		"bias_cut":   ocr.Num(biasCut),
+	}
+}
+
+// DecodeORFs decodes a genes output value.
+func DecodeORFs(v ocr.Value) ([]ScoredORF, error) { return orfsFromValue(v) }

@@ -1,0 +1,187 @@
+package tower
+
+import (
+	"strings"
+	"testing"
+
+	"bioopera/internal/cluster"
+	"bioopera/internal/core"
+	"bioopera/internal/ocr"
+)
+
+func TestReverseComplement(t *testing.T) {
+	if got := ReverseComplement("ATGC"); got != "GCAT" {
+		t.Fatalf("rc = %q", got)
+	}
+	if got := ReverseComplement(""); got != "" {
+		t.Fatalf("rc empty = %q", got)
+	}
+	// Involution.
+	dna, _ := GenerateGenome(GenomeOptions{Genes: 2, Seed: 1})
+	if ReverseComplement(ReverseComplement(dna)) != strings.ToUpper(dna) {
+		t.Fatal("rc not an involution")
+	}
+}
+
+func TestFindORFsBothStrands(t *testing.T) {
+	// Plant a gene on the reverse strand: generate a genome and flip it.
+	fwd, planted := GenerateGenome(GenomeOptions{Genes: 2, MeanCodons: 60, Seed: 5})
+	rev := ReverseComplement(fwd)
+	// Genes can be as short as MeanCodons/2; scan below that.
+	cands := FindORFsBothStrands(rev, 25)
+	var strands [2]int
+	var translations []string
+	for _, c := range cands {
+		if c.Strand > 0 {
+			strands[0]++
+		} else {
+			strands[1]++
+		}
+		translations = append(translations, translateORF(c.DNA))
+	}
+	if strands[1] == 0 {
+		t.Fatal("no reverse-strand ORFs found")
+	}
+	// An upstream in-frame ATG may extend an ORF, so match by suffix.
+	for i, p := range planted {
+		found := false
+		for _, tr := range translations {
+			if strings.HasSuffix(tr, p) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("planted gene %d not found on the reverse strand", i)
+		}
+	}
+}
+
+func TestCodonBiasSeparatesGenesFromNoise(t *testing.T) {
+	// Real genes share codon usage; spurious short ORFs in random
+	// intergenic DNA don't. After self-trained scoring, planted genes
+	// must rank above the median spurious candidate.
+	dna, planted := GenerateGenome(GenomeOptions{Genes: 6, MeanCodons: 100, Intergenic: 400, Seed: 9, Related: true})
+	cands := ScoreCodonBias(FindORFsBothStrands(dna, 15))
+	// An upstream in-frame ATG can extend a planted gene's ORF, so a
+	// candidate "is" a planted gene when its translation ends with the
+	// planted protein.
+	isPlanted := func(prot string) bool {
+		for _, p := range planted {
+			if strings.HasSuffix(prot, p) {
+				return true
+			}
+		}
+		return false
+	}
+	var geneScores, noiseScores []float64
+	for _, c := range cands {
+		if isPlanted(translateORF(c.DNA)) {
+			geneScores = append(geneScores, c.Bias)
+		} else {
+			noiseScores = append(noiseScores, c.Bias)
+		}
+	}
+	if len(geneScores) < len(planted) {
+		t.Fatalf("only %d/%d planted genes among candidates", len(geneScores), len(planted))
+	}
+	if len(noiseScores) == 0 {
+		t.Skip("no spurious ORFs with this seed")
+	}
+	meanGene := mean(geneScores)
+	meanNoise := mean(noiseScores)
+	if meanGene <= meanNoise {
+		t.Fatalf("bias does not separate: genes %.3f vs noise %.3f", meanGene, meanNoise)
+	}
+}
+
+func mean(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func TestConsensusDedupAndOrder(t *testing.T) {
+	strict := []ORF{{Start: 10, End: 100, DNA: "ATGTAA"}}
+	lenient := []ScoredORF{
+		{ORF: ORF{Start: 10, End: 100, DNA: "ATGTAA"}, Strand: +1, Bias: -1}, // dup of strict
+		{ORF: ORF{Start: 200, End: 300, DNA: "ATGTAA"}, Strand: -1, Bias: 2}, // passes cut
+		{ORF: ORF{Start: 5, End: 50, DNA: "ATGTAA"}, Strand: +1, Bias: -2},   // fails cut
+	}
+	out := Consensus(strict, lenient, 0.5)
+	if len(out) != 2 {
+		t.Fatalf("consensus = %d candidates, want 2", len(out))
+	}
+	if out[0].Start != 10 || out[1].Start != 200 {
+		t.Fatalf("consensus order = %+v", out)
+	}
+}
+
+func TestGenePredictionProcessEndToEnd(t *testing.T) {
+	dna, planted := GenerateGenome(GenomeOptions{Genes: 5, MeanCodons: 80, Seed: 13, Related: true})
+
+	lib := core.NewLibrary()
+	if err := RegisterGenePrediction(lib); err != nil {
+		t.Fatal(err)
+	}
+	rt, err := core.NewSimRuntime(core.SimConfig{Seed: 1, Spec: cluster.IkLinux(), Library: lib})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Engine.RegisterTemplateSource(GenePredictionSource); err != nil {
+		t.Fatal(err)
+	}
+	id, err := rt.Engine.StartProcess(GenePredictionTemplate,
+		GenePredictionInputs(dna, 40, 0.05), core.StartOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Run()
+	in, _ := rt.Engine.Instance(id)
+	if in.Status != core.InstanceDone {
+		t.Fatalf("instance %s (%s)", in.Status, in.FailureReason)
+	}
+	genes, err := DecodeORFs(in.Outputs["genes"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	proteins, err := StrList(in.Outputs["proteins"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(genes) != len(proteins) {
+		t.Fatalf("genes %d vs proteins %d", len(genes), len(proteins))
+	}
+	// Recall: every planted gene predicted.
+	predicted := map[string]bool{}
+	for _, p := range proteins {
+		predicted[p] = true
+	}
+	for i, p := range planted {
+		if !predicted[p] {
+			t.Fatalf("planted gene %d missed by the consensus", i)
+		}
+	}
+	// The two finders ran as parallel roots (no connector between them).
+	proc, _ := ocr.ParseProcess(GenePredictionSource)
+	roots := proc.Roots()
+	if len(roots) != 2 {
+		t.Fatalf("finder roots = %d, want 2", len(roots))
+	}
+}
+
+func TestGenePredictionTemplateValid(t *testing.T) {
+	p, err := ocr.ParseProcess(GenePredictionSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := ocr.ParseProcess(ocr.Format(p))
+	if err != nil || ocr.Format(p2) != ocr.Format(p) {
+		t.Fatalf("round trip: %v", err)
+	}
+}

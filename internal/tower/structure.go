@@ -1,0 +1,119 @@
+package tower
+
+import "fmt"
+
+// This file is the top floor of the tower: secondary-structure prediction
+// with the classic Chou–Fasman method (helix/sheet nucleation by
+// propensity windows, extension, and conflict resolution by summed
+// propensity).
+
+// Secondary-structure classes.
+const (
+	Helix = 'H'
+	Sheet = 'E'
+	Coil  = 'C'
+)
+
+// chouFasman propensities (P(a), P(b)) per amino acid — the published
+// 1978 parameter set (×100).
+var cfHelix = map[byte]float64{
+	'A': 142, 'C': 70, 'D': 101, 'E': 151, 'F': 113,
+	'G': 57, 'H': 100, 'I': 108, 'K': 116, 'L': 121,
+	'M': 145, 'N': 67, 'P': 57, 'Q': 111, 'R': 98,
+	'S': 77, 'T': 83, 'V': 106, 'W': 108, 'Y': 69,
+}
+
+var cfSheet = map[byte]float64{
+	'A': 83, 'C': 119, 'D': 54, 'E': 37, 'F': 138,
+	'G': 75, 'H': 87, 'I': 160, 'K': 74, 'L': 130,
+	'M': 105, 'N': 89, 'P': 55, 'Q': 110, 'R': 93,
+	'S': 75, 'T': 119, 'V': 170, 'W': 137, 'Y': 147,
+}
+
+// PredictSecondary runs Chou–Fasman over a protein sequence and returns a
+// string of H/E/C per residue.
+func PredictSecondary(protein string) (string, error) {
+	n := len(protein)
+	if n == 0 {
+		return "", nil
+	}
+	for i := 0; i < n; i++ {
+		if _, ok := cfHelix[protein[i]]; !ok {
+			return "", fmt.Errorf("tower: unknown residue %q at %d", protein[i], i)
+		}
+	}
+	helix := make([]bool, n)
+	sheet := make([]bool, n)
+
+	// Helix nucleation: window of 6 with ≥ 4 strong formers (P ≥ 100),
+	// then extension while the 4-residue window average stays ≥ 100.
+	markRegions(protein, helix, cfHelix, 6, 4, 100)
+	// Sheet nucleation: window of 5 with ≥ 3 strong formers (P ≥ 100).
+	markRegions(protein, sheet, cfSheet, 5, 3, 100)
+
+	out := make([]byte, n)
+	for i := 0; i < n; i++ {
+		switch {
+		case helix[i] && sheet[i]:
+			// Overlap: higher summed propensity over the
+			// overlapping run wins; approximate per-residue.
+			if cfHelix[protein[i]] >= cfSheet[protein[i]] {
+				out[i] = Helix
+			} else {
+				out[i] = Sheet
+			}
+		case helix[i]:
+			out[i] = Helix
+		case sheet[i]:
+			out[i] = Sheet
+		default:
+			out[i] = Coil
+		}
+	}
+	return string(out), nil
+}
+
+// markRegions nucleates and extends regions per Chou–Fasman.
+func markRegions(p string, mark []bool, prop map[byte]float64, window, needed int, cut float64) {
+	n := len(p)
+	for i := 0; i+window <= n; i++ {
+		strong := 0
+		for k := i; k < i+window; k++ {
+			if prop[p[k]] >= cut {
+				strong++
+			}
+		}
+		if strong < needed {
+			continue
+		}
+		// Nucleate the window, then extend both ways while the
+		// tetrapeptide average stays above the cut.
+		lo, hi := i, i+window // [lo, hi)
+		for lo > 0 && avgProp(p, prop, lo-1, min(lo+3, n)) >= cut {
+			lo--
+		}
+		for hi < n && avgProp(p, prop, max(hi-3, 0), hi+1) >= cut {
+			hi++
+		}
+		for k := lo; k < hi; k++ {
+			mark[k] = true
+		}
+	}
+}
+
+func avgProp(p string, prop map[byte]float64, lo, hi int) float64 {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(p) {
+		hi = len(p)
+	}
+	if hi <= lo {
+		return 0
+	}
+	var s float64
+	for k := lo; k < hi; k++ {
+		s += prop[p[k]]
+	}
+	return s / float64(hi-lo)
+}

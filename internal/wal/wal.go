@@ -1,0 +1,374 @@
+// Package wal implements a segmented write-ahead log.
+//
+// The BioOpera store appends every state transition of every process
+// instance to this log before acting on it; crash recovery replays the log
+// over the latest snapshot. Records are length-prefixed and CRC-32
+// checksummed so a torn write at the tail (the only corruption an
+// append-only file can suffer from a crash) is detected and the log is
+// truncated to the last complete record.
+//
+// On-disk layout of a directory managed by this package:
+//
+//	wal-00000000000000000001.log   records 1..n
+//	wal-00000000000000000042.log   records 42..m
+//
+// Each segment file is a sequence of frames:
+//
+//	uint32 little-endian length | uint32 little-endian CRC-32 (IEEE) of data | data
+//
+// Sequence numbers are implicit: the first record of a segment has the
+// sequence encoded in the file name, and records are dense within and
+// across segments.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+const (
+	segPrefix = "wal-"
+	segSuffix = ".log"
+	headerLen = 8 // length + crc
+)
+
+// DefaultSegmentSize is the byte threshold after which a new segment file
+// is started. Exported so tests can exercise rotation with tiny segments.
+const DefaultSegmentSize = 4 << 20
+
+// ErrCorrupt is returned when a record in the interior of the log (not the
+// tail) fails its checksum, which indicates real corruption rather than a
+// torn write.
+var ErrCorrupt = errors.New("wal: corrupt record")
+
+// Record is one entry read back from the log.
+type Record struct {
+	Seq  uint64 // 1-based, dense
+	Data []byte
+}
+
+// Options configure a Log.
+type Options struct {
+	// SegmentSize is the rotation threshold in bytes. Zero means
+	// DefaultSegmentSize.
+	SegmentSize int64
+	// NoSync disables fsync after each append. Experiments use it; the
+	// durability tests do not.
+	NoSync bool
+}
+
+// Log is a segmented write-ahead log. It is safe for concurrent use.
+type Log struct {
+	mu      sync.Mutex
+	dir     string
+	opts    Options
+	file    *os.File
+	size    int64  // bytes written to current segment
+	nextSeq uint64 // sequence the next Append will get
+	segs    []uint64
+}
+
+// Open opens (creating if necessary) the log in dir. It scans existing
+// segments, verifies the tail, and truncates any torn final record.
+func Open(dir string, opts Options) (*Log, error) {
+	if opts.SegmentSize <= 0 {
+		opts.SegmentSize = DefaultSegmentSize
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	l := &Log{dir: dir, opts: opts, nextSeq: 1}
+	if err := l.scan(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+func segName(first uint64) string {
+	return fmt.Sprintf("%s%020d%s", segPrefix, first, segSuffix)
+}
+
+func parseSegName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+		return 0, false
+	}
+	mid := strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix)
+	n, err := strconv.ParseUint(mid, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// scan discovers segments, repairs the tail segment, and positions the
+// writer after the last valid record.
+func (l *Log) scan() error {
+	entries, err := os.ReadDir(l.dir)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	l.segs = l.segs[:0]
+	for _, e := range entries {
+		if first, ok := parseSegName(e.Name()); ok {
+			l.segs = append(l.segs, first)
+		}
+	}
+	sort.Slice(l.segs, func(i, j int) bool { return l.segs[i] < l.segs[j] })
+	if len(l.segs) == 0 {
+		return nil
+	}
+	// Count records in all but the last segment; repair the last.
+	for i, first := range l.segs {
+		path := filepath.Join(l.dir, segName(first))
+		last := i == len(l.segs)-1
+		n, validBytes, err := countRecords(path, last)
+		if err != nil {
+			return err
+		}
+		if last {
+			if err := os.Truncate(path, validBytes); err != nil {
+				return fmt.Errorf("wal: truncating torn tail: %w", err)
+			}
+			f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				return fmt.Errorf("wal: %w", err)
+			}
+			l.file = f
+			l.size = validBytes
+		}
+		l.nextSeq = first + uint64(n)
+	}
+	return nil
+}
+
+// countRecords returns the number of complete records in the segment and
+// the byte offset just past the last complete record. For non-tail
+// segments a bad checksum is ErrCorrupt; for the tail it just ends the scan
+// (torn write).
+func countRecords(path string, tail bool) (n int, validBytes int64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, fmt.Errorf("wal: %w", err)
+	}
+	defer f.Close()
+	var hdr [headerLen]byte
+	var off int64
+	for {
+		if _, err := io.ReadFull(f, hdr[:]); err != nil {
+			if err == io.EOF {
+				return n, off, nil
+			}
+			if errors.Is(err, io.ErrUnexpectedEOF) {
+				if tail {
+					return n, off, nil
+				}
+				return 0, 0, fmt.Errorf("%w: truncated header in %s", ErrCorrupt, path)
+			}
+			return 0, 0, fmt.Errorf("wal: %w", err)
+		}
+		length := binary.LittleEndian.Uint32(hdr[0:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		data := make([]byte, length)
+		if _, err := io.ReadFull(f, data); err != nil {
+			if err == io.EOF || errors.Is(err, io.ErrUnexpectedEOF) {
+				if tail {
+					return n, off, nil
+				}
+				return 0, 0, fmt.Errorf("%w: truncated data in %s", ErrCorrupt, path)
+			}
+			return 0, 0, fmt.Errorf("wal: %w", err)
+		}
+		if crc32.ChecksumIEEE(data) != sum {
+			if tail {
+				return n, off, nil
+			}
+			return 0, 0, fmt.Errorf("%w: bad checksum in %s", ErrCorrupt, path)
+		}
+		off += headerLen + int64(length)
+		n++
+	}
+}
+
+// NextSeq returns the sequence number the next Append will receive.
+func (l *Log) NextSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextSeq
+}
+
+// Append writes data as the next record and returns its sequence number.
+func (l *Log) Append(data []byte) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.file == nil || l.size >= l.opts.SegmentSize {
+		if err := l.rotateLocked(); err != nil {
+			return 0, err
+		}
+	}
+	var hdr [headerLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(data)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(data))
+	if _, err := l.file.Write(hdr[:]); err != nil {
+		return 0, fmt.Errorf("wal: %w", err)
+	}
+	if _, err := l.file.Write(data); err != nil {
+		return 0, fmt.Errorf("wal: %w", err)
+	}
+	if !l.opts.NoSync {
+		if err := l.file.Sync(); err != nil {
+			return 0, fmt.Errorf("wal: %w", err)
+		}
+	}
+	l.size += headerLen + int64(len(data))
+	seq := l.nextSeq
+	l.nextSeq++
+	return seq, nil
+}
+
+// rotateLocked closes the current segment and opens a new one whose name
+// carries the next sequence number.
+func (l *Log) rotateLocked() error {
+	if l.file != nil {
+		if err := l.file.Close(); err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+	}
+	path := filepath.Join(l.dir, segName(l.nextSeq))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	l.file = f
+	l.size = 0
+	l.segs = append(l.segs, l.nextSeq)
+	return nil
+}
+
+// Replay calls fn for every record with sequence ≥ from, in order.
+func (l *Log) Replay(from uint64, fn func(Record) error) error {
+	l.mu.Lock()
+	segs := append([]uint64(nil), l.segs...)
+	end := l.nextSeq
+	l.mu.Unlock()
+	for i, first := range segs {
+		// Skip whole segments that end before `from`.
+		segEnd := end
+		if i+1 < len(segs) {
+			segEnd = segs[i+1]
+		}
+		if segEnd <= from {
+			continue
+		}
+		path := filepath.Join(l.dir, segName(first))
+		if err := replaySegment(path, first, from, end, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func replaySegment(path string, first, from, end uint64, fn func(Record) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	defer f.Close()
+	var hdr [headerLen]byte
+	seq := first
+	for seq < end {
+		if _, err := io.ReadFull(f, hdr[:]); err != nil {
+			if err == io.EOF || errors.Is(err, io.ErrUnexpectedEOF) {
+				return nil
+			}
+			return fmt.Errorf("wal: %w", err)
+		}
+		length := binary.LittleEndian.Uint32(hdr[0:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		data := make([]byte, length)
+		if _, err := io.ReadFull(f, data); err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+		if crc32.ChecksumIEEE(data) != sum {
+			return fmt.Errorf("%w: seq %d in %s", ErrCorrupt, seq, path)
+		}
+		if seq >= from {
+			if err := fn(Record{Seq: seq, Data: data}); err != nil {
+				return err
+			}
+		}
+		seq++
+	}
+	return nil
+}
+
+// TruncateBefore removes whole segments all of whose records have sequence
+// < seq. It is called after a snapshot makes old records unnecessary. The
+// segment containing seq (and the active tail) are always kept.
+func (l *Log) TruncateBefore(seq uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var kept []uint64
+	for i, first := range l.segs {
+		// A segment is removable if the *next* segment starts at or
+		// before seq (so every record here is < seq) and it is not
+		// the active tail.
+		removable := i+1 < len(l.segs) && l.segs[i+1] <= seq
+		if removable {
+			if err := os.Remove(filepath.Join(l.dir, segName(first))); err != nil {
+				return fmt.Errorf("wal: %w", err)
+			}
+			continue
+		}
+		kept = append(kept, first)
+	}
+	l.segs = kept
+	return nil
+}
+
+// Segments returns the starting sequence numbers of the live segment files.
+func (l *Log) Segments() []uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]uint64(nil), l.segs...)
+}
+
+// Sync flushes the active segment to stable storage.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.file == nil {
+		return nil
+	}
+	if err := l.file.Sync(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	return nil
+}
+
+// Close syncs and closes the log. The log must not be used afterwards.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.file == nil {
+		return nil
+	}
+	if err := l.file.Sync(); err != nil {
+		l.file.Close()
+		return fmt.Errorf("wal: %w", err)
+	}
+	err := l.file.Close()
+	l.file = nil
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	return nil
+}

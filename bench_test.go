@@ -7,6 +7,8 @@ package bioopera
 // a results table.
 
 import (
+	"fmt"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -244,4 +246,147 @@ PROCESS Fan {
 		}
 	}
 	b.ReportMetric(float64(200*b.N)/b.Elapsed().Seconds(), "activities/s")
+}
+
+// BenchmarkWALAppendBatch contrasts one fsync per record (batch size 1)
+// with group commit (N records, one fsync). Syncs are real here — this is
+// the durability cost a checkpoint actually pays.
+func BenchmarkWALAppendBatch(b *testing.B) {
+	for _, size := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("records=%d", size), func(b *testing.B) {
+			l, err := wal.Open(b.TempDir(), wal.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer l.Close()
+			batch := make([][]byte, size)
+			for i := range batch {
+				batch[i] = make([]byte, 256)
+			}
+			b.SetBytes(int64(256 * size))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := l.AppendBatch(batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(l.Syncs())/float64(b.N*size), "fsyncs/record")
+		})
+	}
+}
+
+// BenchmarkStorePutBatch contrasts a checkpoint written as individual Puts
+// with the same checkpoint written as one atomic Batch (one group-committed
+// WAL append). Syncs are real.
+func BenchmarkStorePutBatch(b *testing.B) {
+	const ops = 8
+	val := make([]byte, 512)
+	b.Run("puts", func(b *testing.B) {
+		d, err := store.OpenDisk(b.TempDir(), store.DiskOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer d.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < ops; j++ {
+				if err := d.Put(store.Instance, fmt.Sprintf("scope/p1/s%d", j), val); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(d.WALSyncs())/float64(b.N*ops), "fsyncs/record")
+	})
+	b.Run("batch", func(b *testing.B) {
+		d, err := store.OpenDisk(b.TempDir(), store.DiskOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer d.Close()
+		batch := make([]store.Op, ops)
+		for j := range batch {
+			batch[j] = store.Op{Space: store.Instance, Key: fmt.Sprintf("scope/p1/s%d", j), Value: val}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := d.Batch(batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(d.WALSyncs())/float64(b.N*ops), "fsyncs/record")
+	})
+}
+
+// BenchmarkEngineThroughputConcurrent measures navigated activities per
+// second on the worker-pool executor with many client goroutines starting
+// instances at once, checkpointing to a real disk store (fsync on). Every
+// activity pays for a dispatch checkpoint and a completion checkpoint;
+// "serialized" forces every instance through a single lock (Shards: 1) —
+// the pre-sharding engine, where at most one checkpoint is ever in flight
+// and each therefore costs a full fsync. "sharded" is the default
+// instance-sharded lock table: independent instances overlap their turns,
+// so concurrent checkpoints group-commit and share fsyncs.
+func BenchmarkEngineThroughputConcurrent(b *testing.B) {
+	const src = `
+PROCESS Chain8 {
+  INPUT x;
+  OUTPUT r;
+  ACTIVITY S1 { CALL bench.id(x = x);  OUT r; MAP r -> w1; }
+  ACTIVITY S2 { CALL bench.id(x = w1); OUT r; MAP r -> w2; }
+  ACTIVITY S3 { CALL bench.id(x = w2); OUT r; MAP r -> w3; }
+  ACTIVITY S4 { CALL bench.id(x = w3); OUT r; MAP r -> w4; }
+  ACTIVITY S5 { CALL bench.id(x = w4); OUT r; MAP r -> w5; }
+  ACTIVITY S6 { CALL bench.id(x = w5); OUT r; MAP r -> w6; }
+  ACTIVITY S7 { CALL bench.id(x = w6); OUT r; MAP r -> w7; }
+  ACTIVITY S8 { CALL bench.id(x = w7); OUT r; MAP r -> r; }
+  S1 -> S2; S2 -> S3; S3 -> S4; S4 -> S5; S5 -> S6; S6 -> S7; S7 -> S8;
+}`
+	run := func(b *testing.B, shards int) {
+		lib := core.NewLibrary()
+		lib.RegisterFunc("bench.id", func(_ core.ProgramCtx, args map[string]ocr.Value) (map[string]ocr.Value, error) {
+			return map[string]ocr.Value{"r": args["x"]}, nil
+		})
+		st, err := store.OpenDisk(b.TempDir(), store.DiskOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rt, err := core.NewLocalRuntime(core.LocalConfig{
+			Workers: 16,
+			Shards:  shards,
+			Store:   st,
+			Library: lib,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer rt.Close()
+		if err := rt.RegisterTemplateSource(src); err != nil {
+			b.Fatal(err)
+		}
+		var activities atomic.Int64
+		b.SetParallelism(8) // 8·GOMAXPROCS client goroutines
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				id, err := rt.StartProcess("Chain8", map[string]ocr.Value{"x": ocr.Num(1)}, core.StartOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				in, err := rt.Wait(id, time.Minute)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if in.Status != core.InstanceDone {
+					b.Fatalf("instance %s (%s)", in.Status, in.FailureReason)
+				}
+				activities.Add(int64(in.Activities))
+			}
+		})
+		b.ReportMetric(float64(activities.Load())/b.Elapsed().Seconds(), "activities/s")
+	}
+	b.Run("serialized", func(b *testing.B) { run(b, 1) })
+	b.Run("sharded", func(b *testing.B) { run(b, 0) })
 }

@@ -119,6 +119,8 @@ type (
 type (
 	// Store persists templates, instances, configuration and history.
 	Store = store.Store
+	// StoreOp is one mutation inside a Store.Batch.
+	StoreOp = store.Op
 )
 
 // Instance statuses.

@@ -280,6 +280,7 @@ func cmdRun(args []string) error {
 	fs.Var(&inputFlags, "input", "process input as name=value (repeatable)")
 	verbose := fs.Bool("v", false, "trace activity invocations")
 	workers := fs.Int("workers", 4, "local worker pool size")
+	nInstances := fs.Int("n", 1, "concurrent instances to start (same template and inputs)")
 	timeout := fs.Duration("timeout", time.Minute, "completion timeout")
 	storeDir := fs.String("store", "", "persist state and history to this directory")
 	file, err := fileThenFlags(fs, args, "usage: bioopera run <file.ocr> [flags]")
@@ -306,6 +307,9 @@ func cmdRun(args []string) error {
 		Workers: *workers,
 		Library: stubLibrary(ps, *verbose),
 		Store:   st,
+		OnError: func(err error) {
+			fmt.Fprintf(os.Stderr, "bioopera: %v\n", err)
+		},
 	})
 	if err != nil {
 		return err
@@ -323,15 +327,43 @@ func cmdRun(args []string) error {
 	if regErr != nil {
 		return regErr
 	}
-	id, err := rt.StartProcess(*template, inputs, core.StartOptions{})
-	if err != nil {
-		return err
+	if *nInstances <= 1 {
+		id, err := rt.StartProcess(*template, inputs, core.StartOptions{})
+		if err != nil {
+			return err
+		}
+		in, err := rt.Wait(id, *timeout)
+		if err != nil {
+			return err
+		}
+		return report(in)
 	}
-	in, err := rt.Wait(id, *timeout)
-	if err != nil {
-		return err
+	// -n: start every instance before waiting on any, so the engine
+	// navigates them concurrently across the worker pool.
+	started := time.Now()
+	ids := make([]string, *nInstances)
+	for i := range ids {
+		if ids[i], err = rt.StartProcess(*template, inputs, core.StartOptions{}); err != nil {
+			return err
+		}
 	}
-	return report(in)
+	var firstErr error
+	activities := 0
+	for _, id := range ids {
+		in, err := rt.Wait(id, *timeout)
+		if err != nil {
+			return err
+		}
+		activities += in.Activities
+		if err := report(in); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	elapsed := time.Since(started)
+	fmt.Printf("%d instances, %d activities in %v (%.0f activities/s)\n",
+		len(ids), activities, elapsed.Round(time.Millisecond),
+		float64(activities)/elapsed.Seconds())
+	return firstErr
 }
 
 func cmdSimulate(args []string) error {

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"log"
 	"strings"
+	"sync"
 	"time"
 
 	"bioopera"
@@ -67,19 +68,43 @@ func main() {
 	defer rt.Close()
 	must(rt.RegisterTemplateSource(src))
 
-	// 3. Start the process and wait.
-	guests := bioopera.List(
-		bioopera.Str("Ada"), bioopera.Str("Grace"),
-		bioopera.Str("Barbara"), bioopera.Str("Edsger"),
-	)
-	id, err := rt.StartProcess("Party", map[string]bioopera.Value{"guests": guests}, bioopera.StartOptions{})
-	must(err)
-	in, err := rt.Wait(id, 10*time.Second)
-	must(err)
+	// 3. Throw three parties at once, each started from its own
+	// goroutine: the engine is internally synchronized (per-instance
+	// sharded locking), so concurrent clients need no locking of their
+	// own.
+	parties := [][]string{
+		{"Ada", "Grace", "Barbara", "Edsger"},
+		{"Alan", "Kurt", "Alonzo"},
+		{"Radia", "Frances"},
+	}
+	ids := make([]string, len(parties))
+	var wg sync.WaitGroup
+	for i, names := range parties {
+		wg.Add(1)
+		go func(i int, names []string) {
+			defer wg.Done()
+			guests := make([]bioopera.Value, len(names))
+			for j, n := range names {
+				guests[j] = bioopera.Str(n)
+			}
+			id, err := rt.StartProcess("Party",
+				map[string]bioopera.Value{"guests": bioopera.List(guests...)},
+				bioopera.StartOptions{})
+			must(err)
+			ids[i] = id
+		}(i, names)
+	}
+	wg.Wait()
 
-	fmt.Printf("instance %s finished: %s (%d activities, CPU %v)\n\n",
-		in.ID, in.Status, in.Activities, in.CPU.Round(time.Millisecond))
-	fmt.Println(in.Outputs["banner"].AsStr())
+	// 4. Wait for every party and print its banner.
+	for _, id := range ids {
+		in, err := rt.Wait(id, 10*time.Second)
+		must(err)
+		fmt.Printf("instance %s finished: %s (%d activities, CPU %v)\n",
+			in.ID, in.Status, in.Activities, in.CPU.Round(time.Millisecond))
+		fmt.Println(in.Outputs["banner"].AsStr())
+		fmt.Println()
+	}
 }
 
 func must(err error) {

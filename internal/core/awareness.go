@@ -147,20 +147,35 @@ func (e *Engine) WhatIf(nodes []string) OutageImpact {
 	impact := OutageImpact{Nodes: append([]string(nil), nodes...)}
 	affected := make(map[string]bool)
 
-	// Running jobs on the outage set get killed and rescheduled.
-	ids := make([]string, 0, len(e.running))
-	for id := range e.running {
-		ids = append(ids, id)
+	// Snapshot the dispatcher maps under dmu; everything read afterwards
+	// (process graphs, task/scope names, program bindings) is immutable
+	// once the task is created.
+	type snap struct {
+		id   string
+		ref  *queuedRef
+		node string
 	}
-	sort.Strings(ids)
-	for _, id := range ids {
-		ref := e.running[id]
-		if down[ref.ts.Node] {
+	e.dmu.Lock()
+	running := make([]snap, 0, len(e.running))
+	for id, ref := range e.running {
+		running = append(running, snap{id: id, ref: ref, node: ref.node})
+	}
+	queued := make([]snap, 0, len(e.queued))
+	for id, ref := range e.queued {
+		queued = append(queued, snap{id: id, ref: ref})
+	}
+	e.dmu.Unlock()
+	sort.Slice(running, func(i, j int) bool { return running[i].id < running[j].id })
+	sort.Slice(queued, func(i, j int) bool { return queued[i].id < queued[j].id })
+
+	// Running jobs on the outage set get killed and rescheduled.
+	for _, s := range running {
+		if down[s.node] {
 			impact.Jobs = append(impact.Jobs, JobImpact{
-				Job: id, Instance: ref.inst.ID, Scope: ref.sc.ID,
-				Task: ref.ts.Name, Node: ref.ts.Node, Progress: "running",
+				Job: s.id, Instance: s.ref.inst.ID, Scope: s.ref.sc.ID,
+				Task: s.ref.ts.Name, Node: s.node, Progress: "running",
 			})
-			affected[ref.inst.ID] = true
+			affected[s.ref.inst.ID] = true
 		}
 	}
 
@@ -178,7 +193,8 @@ func (e *Engine) WhatIf(nodes []string) OutageImpact {
 		remaining = append(remaining, v)
 	}
 
-	check := func(id string, ref *queuedRef, progress string) {
+	check := func(s snap, progress string) {
+		ref := s.ref
 		t := ref.sc.Proc.Task(ref.ts.Name)
 		prog, ok := e.opts.Library.Lookup(t.Program)
 		if !ok {
@@ -209,30 +225,28 @@ func (e *Engine) WhatIf(nodes []string) OutageImpact {
 		}
 		if !feasible {
 			impact.Stranded = append(impact.Stranded, JobImpact{
-				Job: id, Instance: ref.inst.ID, Scope: ref.sc.ID,
-				Task: ref.ts.Name, Node: ref.ts.Node, Progress: progress,
+				Job: s.id, Instance: ref.inst.ID, Scope: ref.sc.ID,
+				Task: ref.ts.Name, Node: s.node, Progress: progress,
 			})
 			affected[ref.inst.ID] = true
 		}
 	}
-	for _, id := range ids {
-		check(id, e.running[id], "running")
+	for _, s := range running {
+		check(s, "running")
 	}
-	qids := make([]string, 0, len(e.queued))
-	for id := range e.queued {
-		qids = append(qids, id)
-	}
-	sort.Strings(qids)
-	for _, id := range qids {
-		check(id, e.queued[id], "queued-affine")
+	for _, s := range queued {
+		check(s, "queued-affine")
 	}
 
 	impact.Progress = make(map[string]float64, len(affected))
 	impact.Priority = make(map[string]int, len(affected))
 	for id := range affected {
 		impact.Instances = append(impact.Instances, id)
-		if in, ok := e.instances[id]; ok {
+		if in, ok := e.lookup(id); ok {
+			mu := e.shardFor(id)
+			mu.Lock()
 			impact.Progress[id] = in.Progress()
+			mu.Unlock()
 			impact.Priority[id] = in.Priority
 		}
 	}

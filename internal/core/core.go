@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"bioopera/internal/cluster"
@@ -65,6 +67,7 @@ const (
 	EvUndoFailed        EventKind = "undo-failed"
 	EvTaskAwaiting      EventKind = "task-awaiting"
 	EvSignal            EventKind = "signal"
+	EvPersistError      EventKind = "persist-error"
 )
 
 // Event is one engine-level occurrence, persisted to the history journal.
@@ -77,6 +80,10 @@ type Event struct {
 	Node     string    `json:"node,omitempty"`
 	Detail   string    `json:"detail,omitempty"`
 }
+
+// DefaultShards is the size of the instance lock table when Options.Shards
+// is zero.
+const DefaultShards = 32
 
 // Options configure an Engine.
 type Options struct {
@@ -91,10 +98,19 @@ type Options struct {
 	Clock Clock
 	// Policy places activities; defaults to LeastLoaded.
 	Policy sched.Policy
+	// Shards sizes the instance lock table (default DefaultShards).
+	// 1 serializes all instances against each other — the pre-sharding
+	// behaviour, kept as a benchmark baseline.
+	Shards int
 	// OnInstanceDone fires when an instance reaches Done or Failed.
 	OnInstanceDone func(*Instance)
-	// OnEvent observes every engine event (may be nil).
+	// OnEvent observes every engine event (may be nil). It may be called
+	// from any goroutine driving the engine.
 	OnEvent func(Event)
+	// OnError observes asynchronous engine errors — today, checkpoint
+	// (persist/archive) failures that have no caller to return to. May
+	// be called from any goroutine driving the engine.
+	OnError func(error)
 }
 
 // queuedRef connects a queued sched.Job back to its task.
@@ -102,23 +118,45 @@ type queuedRef struct {
 	inst *Instance
 	sc   *scope
 	ts   *taskState
+	node string // dispatch target; set under dmu when the job starts running
 }
 
 // Engine is the BioOpera server: navigator + dispatcher + recovery.
-// It is not internally synchronized; drivers must serialize calls.
+//
+// It is internally synchronized and safe for concurrent callers. Each
+// instance's navigation is strictly serialized by an instance-sharded lock
+// table (shardFor), preserving the paper's per-instance semantics, while
+// independent instances execute and checkpoint concurrently. Cross-instance
+// state lives behind two small front-end locks:
+//
+//	emu  templates and the instance registry
+//	dmu  the activity queue and the queued/running/waiting/signal indexes
+//
+// Lock order is shard → emu/dmu (emu and dmu are leaves, except that Crash
+// takes emu then dmu). Navigation never calls Executor.Kill or Pump while
+// holding a shard: kills are deferred to endTurn (executors may deliver the
+// kill completion synchronously, re-entering the same shard) and Pump runs
+// at the tail of every public entry point.
 type Engine struct {
-	opts      Options
-	policy    sched.Policy
+	opts   Options
+	policy sched.Policy
+
+	paused atomic.Bool // global suspend (server-level)
+
+	shards []sync.Mutex // instance lock table; shardFor hashes instance IDs
+
+	emu       sync.RWMutex
 	templates map[string]*ocr.Process
 	instances map[string]*Instance
 	order     []string // instance creation order, for determinism
-	queue     sched.Queue
-	queued    map[string]*queuedRef             // job ID → queued task
-	running   map[string]*queuedRef             // job ID → running task
-	waiting   map[string][]*queuedRef           // instance|event → AWAIT tasks
-	signals   map[string][]map[string]ocr.Value // buffered signals
 	nextID    int
-	paused    bool // global suspend (server-level)
+
+	dmu     sync.Mutex
+	queue   sched.Queue
+	queued  map[string]*queuedRef             // job ID → queued task
+	running map[string]*queuedRef             // job ID → running task
+	waiting map[string][]*queuedRef           // instance|event → AWAIT tasks
+	signals map[string][]map[string]ocr.Value // buffered signals
 }
 
 // New builds an engine and loads templates already in the store.
@@ -129,9 +167,13 @@ func New(opts Options) (*Engine, error) {
 	if opts.Policy == nil {
 		opts.Policy = sched.LeastLoaded{}
 	}
+	if opts.Shards <= 0 {
+		opts.Shards = DefaultShards
+	}
 	e := &Engine{
 		opts:      opts,
 		policy:    opts.Policy,
+		shards:    make([]sync.Mutex, opts.Shards),
 		templates: make(map[string]*ocr.Process),
 		instances: make(map[string]*Instance),
 		queued:    make(map[string]*queuedRef),
@@ -151,6 +193,40 @@ func New(opts Options) (*Engine, error) {
 		e.templates[kv.Key] = p
 	}
 	return e, nil
+}
+
+// shardFor maps an instance ID to its lock (FNV-1a).
+func (e *Engine) shardFor(id string) *sync.Mutex {
+	h := uint32(2166136261)
+	for i := 0; i < len(id); i++ {
+		h ^= uint32(id[i])
+		h *= 16777619
+	}
+	return &e.shards[h%uint32(len(e.shards))]
+}
+
+// lookup finds an instance in the registry.
+func (e *Engine) lookup(id string) (*Instance, bool) {
+	e.emu.RLock()
+	in, ok := e.instances[id]
+	e.emu.RUnlock()
+	return in, ok
+}
+
+// endTurn closes an instance's critical section: it releases the shard,
+// delivers kills deferred during navigation (outside the lock, because the
+// executor may deliver the kill completion synchronously), and optionally
+// pumps the dispatcher.
+func (e *Engine) endTurn(in *Instance, mu *sync.Mutex, pump bool) {
+	kills := in.pendingKills
+	in.pendingKills = nil
+	mu.Unlock()
+	for _, k := range kills {
+		e.opts.Executor.Kill(cluster.JobID(k.job), k.node)
+	}
+	if pump {
+		e.Pump()
+	}
 }
 
 func (e *Engine) now() sim.Time { return e.opts.Clock.Now() }
@@ -176,7 +252,9 @@ func (e *Engine) RegisterTemplate(p *ocr.Process) error {
 	if err := e.opts.Store.Put(store.Template, p.Name, []byte(ocr.Format(p))); err != nil {
 		return err
 	}
+	e.emu.Lock()
 	e.templates[p.Name] = p.Clone()
+	e.emu.Unlock()
 	return nil
 }
 
@@ -197,7 +275,9 @@ func (e *Engine) RegisterTemplateSource(src string) error {
 
 // Template returns a copy of a registered template.
 func (e *Engine) Template(name string) (*ocr.Process, bool) {
+	e.emu.RLock()
 	p, ok := e.templates[name]
+	e.emu.RUnlock()
 	if !ok {
 		return nil, false
 	}
@@ -206,16 +286,20 @@ func (e *Engine) Template(name string) (*ocr.Process, bool) {
 
 // Templates lists registered template names, sorted.
 func (e *Engine) Templates() []string {
+	e.emu.RLock()
 	out := make([]string, 0, len(e.templates))
 	for n := range e.templates {
 		out = append(out, n)
 	}
+	e.emu.RUnlock()
 	sort.Strings(out)
 	return out
 }
 
 func (e *Engine) resolveTemplate(name string) (*ocr.Process, bool) {
+	e.emu.RLock()
 	p, ok := e.templates[name]
+	e.emu.RUnlock()
 	return p, ok
 }
 
@@ -231,19 +315,24 @@ type StartOptions struct {
 // StartProcess instantiates a template and begins navigation. It returns
 // the new instance ID.
 func (e *Engine) StartProcess(template string, inputs map[string]ocr.Value, opts StartOptions) (string, error) {
+	e.emu.Lock()
 	tpl, ok := e.templates[template]
 	if !ok {
+		e.emu.Unlock()
 		return "", fmt.Errorf("%w: %s", ErrUnknownTemplate, template)
 	}
 	e.nextID++
+	id := fmt.Sprintf("p%04d", e.nextID)
+	e.emu.Unlock()
+
 	in := &Instance{
-		ID:       fmt.Sprintf("p%04d", e.nextID),
+		ID:       id,
 		Template: template,
-		Status:   InstanceRunning,
 		Priority: opts.Priority,
 		Nice:     opts.Nice,
 		Started:  e.now(),
 	}
+	in.setStatus(InstanceRunning)
 	proc := tpl.Clone()
 	root := &scope{
 		ID:         "",
@@ -260,20 +349,25 @@ func (e *Engine) StartProcess(template string, inputs map[string]ocr.Value, opts
 	}
 	in.root = root
 	in.scopes = map[string]*scope{"": root}
-	e.instances[in.ID] = in
-	e.order = append(e.order, in.ID)
 
+	mu := e.shardFor(id)
+	mu.Lock()
 	if err := e.initScope(in, root); err != nil {
-		delete(e.instances, in.ID)
-		e.order = e.order[:len(e.order)-1]
+		mu.Unlock()
 		return "", err
 	}
-	e.emit(Event{Kind: EvInstanceStarted, Instance: in.ID, Detail: template})
+	// Publish only after initialization succeeded, so no other caller
+	// ever observes a half-built instance.
+	e.emu.Lock()
+	e.instances[id] = in
+	e.order = append(e.order, id)
+	e.emu.Unlock()
+	e.emit(Event{Kind: EvInstanceStarted, Instance: id, Detail: template})
 	e.persist(in)
 	e.activateRoots(in, root)
 	e.maybeCompleteScope(in, root)
-	e.Pump()
-	return in.ID, nil
+	e.endTurn(in, mu, true)
+	return id, nil
 }
 
 // initScope evaluates DATA initializers into the scope whiteboard.
@@ -299,74 +393,113 @@ func (e *Engine) initScope(in *Instance, sc *scope) error {
 	return nil
 }
 
-// Instance returns a running or finished instance.
+// Instance returns a running or finished instance. The pointer is shared
+// with the engine: read mutable fields only once the instance is terminal,
+// or while the engine is quiescent.
 func (e *Engine) Instance(id string) (*Instance, bool) {
-	in, ok := e.instances[id]
-	return in, ok
+	return e.lookup(id)
 }
 
-// Instances returns every instance in creation order.
+// InstanceState returns an instance's status and outputs, consistent under
+// concurrent navigation.
+func (e *Engine) InstanceState(id string) (InstanceStatus, map[string]ocr.Value, error) {
+	in, ok := e.lookup(id)
+	if !ok {
+		return 0, nil, fmt.Errorf("%w: %s", ErrUnknownInstance, id)
+	}
+	mu := e.shardFor(id)
+	mu.Lock()
+	st, out := in.Status, in.Outputs
+	mu.Unlock()
+	return st, out, nil
+}
+
+// Instances returns every instance in creation order. The same sharing
+// caveat as Instance applies.
 func (e *Engine) Instances() []*Instance {
+	e.emu.RLock()
 	out := make([]*Instance, 0, len(e.order))
 	for _, id := range e.order {
 		out = append(out, e.instances[id])
 	}
+	e.emu.RUnlock()
 	return out
 }
 
 // QueueLen reports how many activities await dispatch.
-func (e *Engine) QueueLen() int { return e.queue.Len() }
+func (e *Engine) QueueLen() int {
+	e.dmu.Lock()
+	n := e.queue.Len()
+	e.dmu.Unlock()
+	return n
+}
 
 // RunningJobs reports how many activities are executing on the cluster.
-func (e *Engine) RunningJobs() int { return len(e.running) }
+func (e *Engine) RunningJobs() int {
+	e.dmu.Lock()
+	n := len(e.running)
+	e.dmu.Unlock()
+	return n
+}
 
 // Suspend stops dispatching new activities of an instance. When graceful,
 // running jobs finish normally (the paper's event 1: "letting ongoing jobs
 // finish but not starting new ones"); otherwise they are killed and
 // requeued.
 func (e *Engine) Suspend(id string, graceful bool) error {
-	in, ok := e.instances[id]
+	in, ok := e.lookup(id)
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrUnknownInstance, id)
 	}
+	mu := e.shardFor(id)
+	mu.Lock()
 	if in.Status != InstanceRunning {
+		mu.Unlock()
 		return fmt.Errorf("%w: instance %s is %s", ErrBadState, id, in.Status)
 	}
-	in.Status = InstanceSuspended
+	in.setStatus(InstanceSuspended)
 	e.emit(Event{Kind: EvInstanceSuspended, Instance: id, Detail: fmt.Sprintf("graceful=%v", graceful)})
 	if !graceful {
 		e.killRunning(in)
 	}
 	e.persist(in)
+	e.endTurn(in, mu, false)
 	return nil
 }
 
 // Resume restarts dispatching for a suspended instance.
 func (e *Engine) Resume(id string) error {
-	in, ok := e.instances[id]
+	in, ok := e.lookup(id)
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrUnknownInstance, id)
 	}
+	mu := e.shardFor(id)
+	mu.Lock()
 	if in.Status != InstanceSuspended {
+		mu.Unlock()
 		return fmt.Errorf("%w: instance %s is %s", ErrBadState, id, in.Status)
 	}
-	in.Status = InstanceRunning
+	in.setStatus(InstanceRunning)
 	e.emit(Event{Kind: EvInstanceResumed, Instance: id})
 	e.persist(in)
-	e.Pump()
+	e.endTurn(in, mu, true)
 	return nil
 }
 
 // Abort fails an instance on user request.
 func (e *Engine) Abort(id string, reason string) error {
-	in, ok := e.instances[id]
+	in, ok := e.lookup(id)
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrUnknownInstance, id)
 	}
+	mu := e.shardFor(id)
+	mu.Lock()
 	if in.Status == InstanceDone || in.Status == InstanceFailed {
+		mu.Unlock()
 		return fmt.Errorf("%w: instance %s is %s", ErrBadState, id, in.Status)
 	}
 	e.failInstance(in, "aborted: "+reason)
+	e.endTurn(in, mu, false)
 	return nil
 }
 
@@ -374,32 +507,38 @@ func (e *Engine) Abort(id string, reason string) error {
 // instance (§3.4: "the user can ... change input parameters during each
 // step of the computation").
 func (e *Engine) SetParameter(id, name string, v ocr.Value) error {
-	in, ok := e.instances[id]
+	in, ok := e.lookup(id)
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrUnknownInstance, id)
 	}
+	mu := e.shardFor(id)
+	mu.Lock()
 	if in.Status == InstanceDone || in.Status == InstanceFailed {
+		mu.Unlock()
 		return fmt.Errorf("%w: instance %s is %s", ErrBadState, id, in.Status)
 	}
 	in.root.Whiteboard[name] = v
 	e.touch(in.root)
 	e.persist(in)
+	mu.Unlock()
 	return nil
 }
 
 // PauseAll stops dispatching across all instances (server-level suspend,
 // used during planned outages).
-func (e *Engine) PauseAll() { e.paused = true }
+func (e *Engine) PauseAll() { e.paused.Store(true) }
 
 // ResumeAll re-enables dispatching.
 func (e *Engine) ResumeAll() {
-	e.paused = false
+	e.paused.Store(false)
 	e.Pump()
 }
 
-// killRunning kills every running job of an instance; the completions
-// with ErrJobKilled requeue the tasks.
+// killRunning defers a kill for every running job of an instance; the
+// completions with ErrJobKilled requeue the tasks. Caller holds the
+// instance's shard; the kills fire in endTurn.
 func (e *Engine) killRunning(in *Instance) {
+	e.dmu.Lock()
 	ids := make([]string, 0, len(e.running))
 	for id, ref := range e.running {
 		if ref.inst == in {
@@ -408,13 +547,14 @@ func (e *Engine) killRunning(in *Instance) {
 	}
 	sort.Strings(ids)
 	for _, id := range ids {
-		ref := e.running[id]
-		e.opts.Executor.Kill(cluster.JobID(id), ref.ts.Node)
+		in.pendingKills = append(in.pendingKills, pendingKill{job: id, node: e.running[id].node})
 	}
+	e.dmu.Unlock()
 }
 
 // dropQueued removes all queued activities of an instance.
 func (e *Engine) dropQueued(in *Instance) {
+	e.dmu.Lock()
 	ids := make([]string, 0, len(e.queued))
 	for id, ref := range e.queued {
 		if ref.inst == in {
@@ -426,16 +566,20 @@ func (e *Engine) dropQueued(in *Instance) {
 		e.queue.Remove(id)
 		delete(e.queued, id)
 	}
+	e.dmu.Unlock()
 }
 
-// failInstance aborts everything the instance still has in flight.
+// failInstance aborts everything the instance still has in flight. Caller
+// holds the instance's shard.
 func (e *Engine) failInstance(in *Instance, reason string) {
 	if in.Status == InstanceFailed || in.Status == InstanceDone {
 		return
 	}
-	in.Status = InstanceFailed
+	// Reason and end time are written before the status flips, so
+	// lock-free readers (Wait) never see a failed instance without them.
 	in.FailureReason = reason
 	in.Ended = e.now()
+	in.setStatus(InstanceFailed)
 	e.dropQueued(in)
 	e.dropWaiting(in)
 	e.killRunning(in)

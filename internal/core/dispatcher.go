@@ -18,55 +18,122 @@ import (
 // for node failures.
 
 // Pump dispatches as many queued activities as the cluster can take.
-// Drivers call it after anything that may have freed capacity.
+// Drivers call it after anything that may have freed capacity. It is safe
+// for concurrent callers: each pops jobs from the queue under dmu and
+// dispatches them in parallel — dispatch re-validates every job under its
+// instance's shard, so concurrent drains never double-start a job. (The
+// sim driver is single-threaded, so sim dispatch order stays
+// deterministic.)
 func (e *Engine) Pump() {
-	if e.paused {
+	if e.paused.Load() {
 		return
 	}
+	e.drain()
+}
+
+// drain pops dispatchable jobs until the queue or the cluster is
+// exhausted.
+func (e *Engine) drain() {
 	for {
+		e.dmu.Lock()
 		nodes := e.opts.Executor.Nodes()
 		job, node, ok := e.queue.PopWhere(func(j sched.Job) (string, bool) {
 			ref := e.queued[j.ID]
-			if ref == nil || ref.inst.Status != InstanceRunning {
+			if ref == nil || ref.inst.statusNow() != InstanceRunning {
 				return "", false // suspended instances stay queued
 			}
 			return e.policy.Pick(j, nodes)
 		})
 		if !ok {
+			e.dmu.Unlock()
 			return
 		}
 		ref := e.queued[job.ID]
 		delete(e.queued, job.ID)
-		var err error
-		if pr, ok := e.opts.Executor.(ProgramRunner); ok {
-			err = pr.StartWithRun(cluster.JobID(job.ID), node, job.Cost, ref.inst.Nice, e.programThunk(ref, node))
-		} else {
-			err = e.opts.Executor.Start(cluster.JobID(job.ID), node, job.Cost, ref.inst.Nice)
-		}
-		if err != nil {
-			// Capacity changed under us; requeue and stop.
-			e.queue.Push(job)
-			e.queued[job.ID] = ref
+		e.dmu.Unlock()
+		if !e.dispatch(job, node, ref) {
 			return
 		}
-		ref.ts.Status = TaskRunning
-		ref.ts.Node = node
-		ref.ts.StartedAt = e.now()
-		e.running[job.ID] = ref
-		e.touch(ref.sc)
-		e.emit(Event{Kind: EvTaskDispatched, Instance: ref.inst.ID, Scope: ref.sc.ID,
-			Task: ref.ts.Name, Node: node})
-		e.persist(ref.inst)
 	}
+}
+
+// dispatch starts one popped job on its chosen node. It returns false when
+// the drain loop should stop (cluster capacity changed under us).
+func (e *Engine) dispatch(job sched.Job, node string, ref *queuedRef) bool {
+	in, sc, ts := ref.inst, ref.sc, ref.ts
+	mu := e.shardFor(in.ID)
+	mu.Lock()
+	if cur, live := e.lookup(in.ID); !live || cur != in {
+		// Crash wiped (or recovery rebuilt) the instance since the pop;
+		// the popped job died with its incarnation.
+		mu.Unlock()
+		return true
+	}
+	// Re-validate under the shard: since the pop, the instance may have
+	// been suspended or aborted, the scope torn down by a sphere abort,
+	// or the task superseded by a newer attempt.
+	if sc.defunct || ts.Status != TaskReady || ts.Job != job.ID || in.Status != InstanceRunning {
+		requeue := !sc.defunct && ts.Status == TaskReady && ts.Job == job.ID &&
+			in.Status == InstanceSuspended
+		e.endTurn(in, mu, false)
+		if requeue {
+			// Suspended after the pop: keep it queued for Resume.
+			e.dmu.Lock()
+			e.queue.Push(job)
+			e.queued[job.ID] = ref
+			e.dmu.Unlock()
+		}
+		return true
+	}
+	// Reserve the running slot before Start: the local executor can
+	// deliver the completion from its worker goroutine before Start even
+	// returns.
+	e.dmu.Lock()
+	ref.node = node
+	e.running[job.ID] = ref
+	e.dmu.Unlock()
+	var err error
+	if pr, ok := e.opts.Executor.(ProgramRunner); ok {
+		err = pr.StartWithRun(cluster.JobID(job.ID), node, job.Cost, in.Nice, e.programThunk(ref, node))
+	} else {
+		err = e.opts.Executor.Start(cluster.JobID(job.ID), node, job.Cost, in.Nice)
+	}
+	if err != nil {
+		// Capacity changed under us; requeue and stop draining.
+		e.dmu.Lock()
+		delete(e.running, job.ID)
+		ref.node = ""
+		e.queue.Push(job)
+		e.queued[job.ID] = ref
+		e.dmu.Unlock()
+		e.endTurn(in, mu, false)
+		return false
+	}
+	ts.Status = TaskRunning
+	ts.Node = node
+	ts.StartedAt = e.now()
+	e.touch(sc)
+	e.emit(Event{Kind: EvTaskDispatched, Instance: in.ID, Scope: sc.ID,
+		Task: ts.Name, Node: node})
+	e.persist(in)
+	e.endTurn(in, mu, false)
+	return true
 }
 
 // HandleCompletion receives a job outcome from the cluster. Infrastructure
 // failures (node crash, kill) requeue the activity without consuming
 // retries — checkpointing is at activity granularity, so only the failed
 // activity's work is lost (§3.3). Program successes run the external
-// binding to produce outputs.
+// binding to produce outputs. Safe for concurrent callers; completions of
+// the same instance serialize on its shard.
 func (e *Engine) HandleCompletion(c cluster.Completion) {
+	e.dmu.Lock()
 	ref, ok := e.running[string(c.Job)]
+	if ok {
+		delete(e.running, string(c.Job))
+		ref.node = ""
+	}
+	e.dmu.Unlock()
 	if !ok {
 		// Stale completion from before a server crash: the result is
 		// discarded (the activity was already requeued), but the CPU
@@ -74,12 +141,21 @@ func (e *Engine) HandleCompletion(c cluster.Completion) {
 		e.Pump()
 		return
 	}
-	delete(e.running, string(c.Job))
 	in, sc, ts := ref.inst, ref.sc, ref.ts
+	mu := e.shardFor(in.ID)
+	mu.Lock()
+	if cur, live := e.lookup(in.ID); !live || cur != in {
+		// The engine crashed (or recovery rebuilt the instance) between
+		// the running-map pop and this turn: the completion belongs to a
+		// previous incarnation and must not navigate it further.
+		mu.Unlock()
+		e.Pump()
+		return
+	}
 	if sc.defunct {
 		// The scope was torn down by a sphere abort; the slot is
 		// free, the result is void.
-		e.Pump()
+		e.endTurn(in, mu, true)
 		return
 	}
 	t := sc.Proc.Task(ts.Name)
@@ -88,6 +164,7 @@ func (e *Engine) HandleCompletion(c cluster.Completion) {
 	e.touch(sc)
 
 	if in.Status == InstanceFailed || in.Status == InstanceDone {
+		e.endTurn(in, mu, false)
 		return
 	}
 
@@ -101,7 +178,7 @@ func (e *Engine) HandleCompletion(c cluster.Completion) {
 		e.emit(Event{Kind: EvTaskRetried, Instance: in.ID, Scope: sc.ID, Task: ts.Name,
 			Node: c.Node, Detail: fmt.Sprintf("infrastructure: %v", c.Err)})
 		e.requeue(in, sc, t, ts)
-		e.Pump()
+		e.endTurn(in, mu, true)
 		return
 	}
 
@@ -112,6 +189,7 @@ func (e *Engine) HandleCompletion(c cluster.Completion) {
 		prog, ok := e.opts.Library.Lookup(t.Program)
 		if !ok {
 			e.failInstance(in, fmt.Sprintf("program %q vanished from the library", t.Program))
+			e.endTurn(in, mu, false)
 			return
 		}
 		outputs, progErr = prog.Run(ProgramCtx{
@@ -123,12 +201,12 @@ func (e *Engine) HandleCompletion(c cluster.Completion) {
 	}
 	if progErr != nil {
 		e.handleProgramFailure(in, sc, t, ts, progErr)
-		e.Pump()
+		e.endTurn(in, mu, true)
 		return
 	}
 	in.Activities++
 	e.finishTask(in, sc, t, ts, outputs)
-	e.Pump()
+	e.endTurn(in, mu, true)
 }
 
 // ProgramRunner is implemented by executors that execute the external
@@ -165,6 +243,7 @@ func (e *Engine) programThunk(ref *queuedRef, node string) func() (map[string]oc
 // placement policy sends them to lightly loaded nodes (§5.4's discussed
 // strategy). It returns how many jobs were killed.
 func (e *Engine) Migrate(p sched.MigrationPolicy) int {
+	e.dmu.Lock()
 	ids := make([]string, 0, len(e.running))
 	for id := range e.running {
 		ids = append(ids, id)
@@ -173,14 +252,17 @@ func (e *Engine) Migrate(p sched.MigrationPolicy) int {
 	cands := make([]sched.Candidate, 0, len(ids))
 	for _, id := range ids {
 		ref := e.running[id]
-		if ref.inst.Status != InstanceRunning {
+		if ref.inst.statusNow() != InstanceRunning {
 			continue
 		}
-		cands = append(cands, sched.Candidate{Job: id, Node: ref.ts.Node})
+		cands = append(cands, sched.Candidate{Job: id, Node: ref.node})
 	}
+	e.dmu.Unlock()
 	kills := p.Decide(cands, e.opts.Executor.Nodes())
 	for _, k := range kills {
+		e.dmu.Lock()
 		ref := e.running[k.Job]
+		e.dmu.Unlock()
 		if ref == nil {
 			continue
 		}
@@ -192,7 +274,21 @@ func (e *Engine) Migrate(p sched.MigrationPolicy) int {
 // Crash simulates a BioOpera server crash (§5.4 event 3): all volatile
 // state vanishes. The store survives; Recover rebuilds from it. Jobs still
 // running on the cluster become orphans whose completions are ignored.
+//
+// Crash first quiesces the engine by taking every shard (in index order —
+// no other path holds two shards), so no navigation turn straddles the
+// wipe: a real crash kills the whole server, not half a state transition.
 func (e *Engine) Crash() {
+	for i := range e.shards {
+		e.shards[i].Lock()
+	}
+	defer func() {
+		for i := range e.shards {
+			e.shards[i].Unlock()
+		}
+	}()
+	e.emu.Lock()
+	e.dmu.Lock()
 	e.instances = make(map[string]*Instance)
 	e.order = nil
 	e.queue = sched.Queue{}
@@ -200,6 +296,8 @@ func (e *Engine) Crash() {
 	e.running = make(map[string]*queuedRef)
 	e.waiting = make(map[string][]*queuedRef)
 	e.signals = make(map[string][]map[string]ocr.Value)
+	e.dmu.Unlock()
+	e.emu.Unlock()
 }
 
 // IsInfraError reports whether an error is an infrastructure failure (as

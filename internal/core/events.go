@@ -16,20 +16,32 @@ import (
 // Signals are buffered: a signal sent before any task awaits it is
 // delivered to the next awaiting task, so producers and consumers need not
 // race.
+//
+// The waiting/signal indexes live behind dmu; the waiters of a key all
+// belong to the key's instance, so their task state is protected by that
+// instance's shard, which Signal holds for the duration of delivery.
 
 // eventKey identifies a (instance, event) wait point.
 func eventKey(instanceID, event string) string { return instanceID + "|" + event }
 
 // awaitEvent parks an activated AWAIT activity until its signal arrives.
+// Caller holds the instance's shard.
 func (e *Engine) awaitEvent(in *Instance, sc *scope, t *ocr.Task, ts *taskState) {
 	key := eventKey(in.ID, t.Await)
 	// A buffered signal satisfies the wait immediately.
+	e.dmu.Lock()
+	var payload map[string]ocr.Value
+	buffered := false
 	if queue := e.signals[key]; len(queue) > 0 {
-		payload := queue[0]
+		payload = queue[0]
+		buffered = true
 		e.signals[key] = queue[1:]
 		if len(e.signals[key]) == 0 {
 			delete(e.signals, key)
 		}
+	}
+	e.dmu.Unlock()
+	if buffered {
 		ts.Status = TaskRunning
 		e.touch(sc)
 		e.finishEventTask(in, sc, t, ts, payload)
@@ -37,7 +49,9 @@ func (e *Engine) awaitEvent(in *Instance, sc *scope, t *ocr.Task, ts *taskState)
 	}
 	ts.Status = TaskRunning
 	e.touch(sc)
+	e.dmu.Lock()
 	e.waiting[key] = append(e.waiting[key], &queuedRef{inst: in, sc: sc, ts: ts})
+	e.dmu.Unlock()
 	e.emit(Event{Kind: EvTaskAwaiting, Instance: in.ID, Scope: sc.ID, Task: t.Name, Detail: t.Await})
 	e.persist(in)
 }
@@ -58,23 +72,30 @@ func (e *Engine) finishEventTask(in *Instance, sc *scope, t *ocr.Task, ts *taskS
 // its outputs; if none is waiting, the signal is buffered for the next
 // AWAIT on that event. Signalling a finished instance is an error.
 func (e *Engine) Signal(instanceID, event string, payload map[string]ocr.Value) error {
-	in, ok := e.instances[instanceID]
+	in, ok := e.lookup(instanceID)
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrUnknownInstance, instanceID)
 	}
+	mu := e.shardFor(instanceID)
+	mu.Lock()
 	if in.Status == InstanceDone || in.Status == InstanceFailed {
+		mu.Unlock()
 		return fmt.Errorf("%w: instance %s is %s", ErrBadState, instanceID, in.Status)
 	}
 	e.emit(Event{Kind: EvSignal, Instance: instanceID, Detail: event})
 	key := eventKey(instanceID, event)
+	e.dmu.Lock()
 	waiters := e.waiting[key]
-	// Skip waiters whose scopes were torn down by a sphere abort.
+	// Skip waiters whose scopes were torn down by a sphere abort (safe
+	// to read under the shard we hold: all waiters belong to in).
 	for len(waiters) > 0 && waiters[0].sc.defunct {
 		waiters = waiters[1:]
 	}
 	if len(waiters) == 0 {
 		delete(e.waiting, key)
 		e.signals[key] = append(e.signals[key], payload)
+		e.dmu.Unlock()
+		mu.Unlock()
 		return nil
 	}
 	ref := waiters[0]
@@ -83,15 +104,21 @@ func (e *Engine) Signal(instanceID, event string, payload map[string]ocr.Value) 
 	} else {
 		delete(e.waiting, key)
 	}
+	e.dmu.Unlock()
 	t := ref.sc.Proc.Task(ref.ts.Name)
 	e.finishEventTask(in, ref.sc, t, ref.ts, payload)
-	e.Pump()
+	e.endTurn(in, mu, true)
 	return nil
 }
 
 // Awaiting lists the event names an instance is currently blocked on,
 // sorted.
 func (e *Engine) Awaiting(instanceID string) []string {
+	mu := e.shardFor(instanceID)
+	mu.Lock()
+	defer mu.Unlock()
+	e.dmu.Lock()
+	defer e.dmu.Unlock()
 	var out []string
 	prefix := instanceID + "|"
 	for key, refs := range e.waiting {
@@ -116,6 +143,8 @@ func (e *Engine) Awaiting(instanceID string) []string {
 // dropWaiting removes an instance's waiters and buffered signals (on
 // abort/failure).
 func (e *Engine) dropWaiting(in *Instance) {
+	e.dmu.Lock()
+	defer e.dmu.Unlock()
 	prefix := in.ID + "|"
 	for key := range e.waiting {
 		if len(key) > len(prefix) && key[:len(prefix)] == prefix {

@@ -45,12 +45,16 @@ type Lineage struct {
 func qualify(scopeID, name string) string { return scopeID + "::" + name }
 
 // Lineage builds the provenance graph of an instance (running or
-// finished).
+// finished). It holds the instance's shard lock while reading, so the
+// graph is a consistent snapshot even under concurrent navigation.
 func (e *Engine) Lineage(instanceID string) (*Lineage, error) {
-	in, ok := e.instances[instanceID]
+	in, ok := e.lookup(instanceID)
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrUnknownInstance, instanceID)
 	}
+	mu := e.shardFor(instanceID)
+	mu.Lock()
+	defer mu.Unlock()
 	lg := &Lineage{
 		Items:    make(map[string]*LineageNode),
 		Reads:    make(map[string][]string),

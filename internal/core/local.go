@@ -18,17 +18,24 @@ import (
 // external bindings really run. The runnable examples use it; the
 // experiments use the deterministic SimRuntime instead.
 //
-// All engine access is serialized by an internal mutex; use Do for
-// arbitrary engine calls and the convenience wrappers for the common ones.
+// The engine is internally synchronized, so the runtime adds no lock of
+// its own: workers deliver completions to HandleCompletion directly and
+// independent instances truly execute in parallel. Do simply hands out the
+// engine; the wrappers exist for convenience and API stability.
 type LocalRuntime struct {
 	Store store.Store
 
-	mu     sync.Mutex
-	cond   *sync.Cond
 	engine *Engine
 	exec   *localExec
 	start  time.Time
-	closed bool
+
+	// waitMu/cond/gen implement Wait: every interesting transition bumps
+	// gen and broadcasts, and waiters sleep until gen moves. A counter —
+	// instead of re-checking state under a big lock — keeps the wait
+	// path off the engine's locks entirely.
+	waitMu sync.Mutex
+	cond   *sync.Cond
+	gen    uint64
 }
 
 // LocalConfig configures a LocalRuntime.
@@ -42,9 +49,14 @@ type LocalConfig struct {
 	Library *Library
 	// Policy defaults to LeastLoaded.
 	Policy sched.Policy
-	// OnEvent observes engine events (called with the runtime lock
-	// held; must not call back into the runtime).
+	// OnEvent observes engine events (called under the instance's shard
+	// lock; must not call back into the engine).
 	OnEvent func(Event)
+	// OnError observes persistence failures (see Options.OnError).
+	OnError func(error)
+	// Shards sets the engine's instance-lock shard count (default
+	// DefaultShards; 1 serializes all instances).
+	Shards int
 }
 
 // NewLocalRuntime builds the pool and engine.
@@ -59,7 +71,7 @@ func NewLocalRuntime(cfg LocalConfig) (*LocalRuntime, error) {
 		return nil, fmt.Errorf("core: LocalConfig needs a Library")
 	}
 	rt := &LocalRuntime{Store: cfg.Store, start: time.Now()}
-	rt.cond = sync.NewCond(&rt.mu)
+	rt.cond = sync.NewCond(&rt.waitMu)
 	rt.exec = newLocalExec(rt, cfg.Workers)
 	eng, err := New(Options{
 		Store:    cfg.Store,
@@ -68,8 +80,10 @@ func NewLocalRuntime(cfg LocalConfig) (*LocalRuntime, error) {
 		Clock:    ClockFunc(func() sim.Time { return sim.Time(time.Since(rt.start)) }),
 		Policy:   cfg.Policy,
 		OnEvent:  cfg.OnEvent,
+		OnError:  cfg.OnError,
+		Shards:   cfg.Shards,
 		OnInstanceDone: func(*Instance) {
-			rt.cond.Broadcast()
+			rt.bump()
 		},
 	})
 	if err != nil {
@@ -79,83 +93,87 @@ func NewLocalRuntime(cfg LocalConfig) (*LocalRuntime, error) {
 	return rt, nil
 }
 
-// Do runs f with exclusive access to the engine.
+// bump wakes every Wait caller to re-check its instance.
+func (rt *LocalRuntime) bump() {
+	rt.waitMu.Lock()
+	rt.gen++
+	rt.waitMu.Unlock()
+	rt.cond.Broadcast()
+}
+
+// Do runs f against the engine. The engine is internally synchronized, so
+// f runs directly; concurrent Do calls are fine.
 func (rt *LocalRuntime) Do(f func(e *Engine)) {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
 	f(rt.engine)
 }
 
 // RegisterTemplateSource parses and registers OCR templates.
 func (rt *LocalRuntime) RegisterTemplateSource(src string) error {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
 	return rt.engine.RegisterTemplateSource(src)
 }
 
 // StartProcess launches an instance.
 func (rt *LocalRuntime) StartProcess(template string, inputs map[string]ocr.Value, opts StartOptions) (string, error) {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
 	return rt.engine.StartProcess(template, inputs, opts)
 }
 
 // InstanceStatus returns the current status and outputs of an instance.
 func (rt *LocalRuntime) InstanceStatus(id string) (InstanceStatus, map[string]ocr.Value, error) {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
-	in, ok := rt.engine.Instance(id)
-	if !ok {
-		return 0, nil, fmt.Errorf("%w: %s", ErrUnknownInstance, id)
-	}
-	return in.Status, in.Outputs, nil
+	return rt.engine.InstanceState(id)
 }
 
 // Wait blocks until the instance reaches Done or Failed, or the timeout
 // elapses. It returns the instance.
 func (rt *LocalRuntime) Wait(id string, timeout time.Duration) (*Instance, error) {
 	deadline := time.Now().Add(timeout)
-	timer := time.AfterFunc(timeout, func() {
-		rt.mu.Lock()
-		rt.cond.Broadcast()
-		rt.mu.Unlock()
-	})
+	timer := time.AfterFunc(timeout, rt.bump)
 	defer timer.Stop()
-
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
 	for {
 		in, ok := rt.engine.Instance(id)
 		if !ok {
 			return nil, fmt.Errorf("%w: %s", ErrUnknownInstance, id)
 		}
-		if in.Status == InstanceDone || in.Status == InstanceFailed {
+		rt.waitMu.Lock()
+		g := rt.gen
+		rt.waitMu.Unlock()
+		// Check after capturing gen: a transition after this check bumps
+		// gen, so the sleep below cannot miss it.
+		if st := in.statusNow(); st == InstanceDone || st == InstanceFailed {
 			return in, nil
 		}
 		if time.Now().After(deadline) {
-			return in, fmt.Errorf("core: instance %s still %s after %v", id, in.Status, timeout)
+			return in, fmt.Errorf("core: instance %s still %s after %v", id, in.statusNow(), timeout)
 		}
-		rt.cond.Wait()
+		rt.waitMu.Lock()
+		for rt.gen == g {
+			rt.cond.Wait()
+		}
+		rt.waitMu.Unlock()
 	}
 }
 
 // Close stops accepting work. Running workers drain.
 func (rt *LocalRuntime) Close() {
-	rt.mu.Lock()
-	rt.closed = true
-	rt.mu.Unlock()
+	ex := rt.exec
+	ex.mu.Lock()
+	ex.closed = true
+	ex.mu.Unlock()
 }
 
 // localExec is the worker pool behind LocalRuntime. One slot per "node".
 // Dispatches carry a sequence token so a stale worker (whose job was
 // killed and possibly re-dispatched) can never free the wrong slot or
-// deliver a stale result.
+// deliver a stale result. ex.mu guards the pool's own state only; it is a
+// leaf lock — never held across engine calls.
 type localExec struct {
 	rt    *LocalRuntime
 	names []string
-	seq   uint64
-	busy  map[string]uint64        // node → dispatch seq
-	live  map[cluster.JobID]uint64 // job → dispatch seq whose result is wanted
+
+	mu     sync.Mutex
+	closed bool
+	seq    uint64
+	busy   map[string]uint64        // node → dispatch seq
+	live   map[cluster.JobID]uint64 // job → dispatch seq whose result is wanted
 }
 
 func newLocalExec(rt *LocalRuntime, workers int) *localExec {
@@ -170,9 +188,10 @@ func newLocalExec(rt *LocalRuntime, workers int) *localExec {
 	return ex
 }
 
-// Nodes implements Executor. Caller holds the runtime lock (the engine
-// only calls it from inside locked sections).
+// Nodes implements Executor.
 func (ex *localExec) Nodes() []cluster.NodeView {
+	ex.mu.Lock()
+	defer ex.mu.Unlock()
 	out := make([]cluster.NodeView, 0, len(ex.names))
 	for _, n := range ex.names {
 		running := 0
@@ -196,34 +215,40 @@ func (ex *localExec) Start(id cluster.JobID, node string, cost time.Duration, ni
 }
 
 // StartWithRun implements ProgramRunner: the thunk executes on a fresh
-// goroutine; the completion is delivered back under the runtime lock.
+// goroutine and the completion is delivered straight to HandleCompletion,
+// which serializes it on the instance's shard.
 func (ex *localExec) StartWithRun(id cluster.JobID, node string, _ time.Duration, _ bool,
 	run func() (map[string]ocr.Value, error)) error {
-	if ex.rt.closed {
+	ex.mu.Lock()
+	if ex.closed {
+		ex.mu.Unlock()
 		return fmt.Errorf("core: local runtime closed")
 	}
 	if _, taken := ex.busy[node]; taken {
+		ex.mu.Unlock()
 		return cluster.ErrNoFreeCPU
 	}
 	ex.seq++
 	mySeq := ex.seq
 	ex.busy[node] = mySeq
 	ex.live[id] = mySeq
+	ex.mu.Unlock()
 	started := time.Since(ex.rt.start)
 	go func() {
 		t0 := time.Now()
 		outputs, err := run()
 		cpu := time.Since(t0)
 
-		ex.rt.mu.Lock()
-		defer ex.rt.mu.Unlock()
+		ex.mu.Lock()
 		if ex.busy[node] == mySeq {
 			delete(ex.busy, node)
 		}
 		if ex.live[id] != mySeq {
+			ex.mu.Unlock()
 			return // killed (or superseded); result discarded
 		}
 		delete(ex.live, id)
+		ex.mu.Unlock()
 		c := cluster.Completion{
 			Job:     id,
 			Node:    node,
@@ -240,7 +265,7 @@ func (ex *localExec) StartWithRun(id cluster.JobID, node string, _ time.Duration
 			c.Outputs = map[string]ocr.Value{}
 		}
 		ex.rt.engine.HandleCompletion(c)
-		ex.rt.cond.Broadcast()
+		ex.rt.bump()
 	}()
 	return nil
 }
@@ -248,22 +273,24 @@ func (ex *localExec) StartWithRun(id cluster.JobID, node string, _ time.Duration
 // Kill implements Executor: the goroutine cannot be interrupted, but its
 // result is discarded and the engine immediately sees the job as killed.
 func (ex *localExec) Kill(id cluster.JobID, node string) error {
+	ex.mu.Lock()
 	if _, ok := ex.live[id]; !ok {
+		ex.mu.Unlock()
 		return fmt.Errorf("core: job %s not running", id)
 	}
 	delete(ex.live, id)
-	// Deliver the kill asynchronously so callers inside engine
-	// navigation see consistent state, mirroring the simulated cluster.
+	ex.mu.Unlock()
+	// Deliver the kill asynchronously, mirroring the simulated cluster;
+	// the engine defers kills past navigation, so the completion may
+	// even be handled before this goroutine runs — both orders are safe.
 	go func() {
-		ex.rt.mu.Lock()
-		defer ex.rt.mu.Unlock()
 		ex.rt.engine.HandleCompletion(cluster.Completion{
 			Job:  id,
 			Node: node,
 			End:  sim.Time(time.Since(ex.rt.start)),
 			Err:  cluster.ErrJobKilled,
 		})
-		ex.rt.cond.Broadcast()
+		ex.rt.bump()
 	}()
 	return nil
 }

@@ -102,8 +102,10 @@ func (e *Engine) enqueueActivity(in *Instance, sc *scope, t *ocr.Task, ts *taskS
 		OS:       prog.OS,
 		Nodes:    prog.Nodes,
 	}
+	e.dmu.Lock()
 	e.queue.Push(job)
 	e.queued[id] = &queuedRef{inst: in, sc: sc, ts: ts}
+	e.dmu.Unlock()
 	e.touch(sc)
 	e.emit(Event{Kind: EvTaskReady, Instance: in.ID, Scope: sc.ID, Task: t.Name})
 }
@@ -358,8 +360,9 @@ func (e *Engine) maybeCompleteScope(in *Instance, sc *scope) {
 	e.touch(sc)
 
 	if sc.Parent == nil {
-		// Root scope: the instance is done.
-		in.Status = InstanceDone
+		// Root scope: the instance is done. Outputs and end time are
+		// written before the status flips — lock-free readers (Wait)
+		// observe the terminal status only after the results exist.
 		in.Ended = e.now()
 		in.Outputs = make(map[string]ocr.Value, len(sc.Proc.Outputs))
 		for _, o := range sc.Proc.Outputs {
@@ -369,6 +372,7 @@ func (e *Engine) maybeCompleteScope(in *Instance, sc *scope) {
 				in.Outputs[o] = ocr.Null
 			}
 		}
+		in.setStatus(InstanceDone)
 		e.emit(Event{Kind: EvInstanceDone, Instance: in.ID})
 		e.persist(in)
 		e.archive(in)
@@ -498,8 +502,10 @@ func (e *Engine) requeue(in *Instance, sc *scope, t *ocr.Task, ts *taskState) {
 		job.OS = prog.OS
 		job.Nodes = prog.Nodes
 	}
+	e.dmu.Lock()
 	e.queue.Push(job)
 	e.queued[id] = &queuedRef{inst: in, sc: sc, ts: ts}
+	e.dmu.Unlock()
 	e.touch(sc)
 	e.persist(in)
 }

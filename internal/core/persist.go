@@ -86,7 +86,23 @@ func scopeKey(id, scopeID string) string {
 // touch marks a scope as needing persistence.
 func (e *Engine) touch(sc *scope) { sc.dirty = true }
 
-// persist writes the instance metadata and every dirty scope.
+// persistError surfaces a checkpoint failure: the event stream gets an
+// EvPersistError and the OnError hook (if any) fires. The engine keeps
+// running — the paper's recovery guarantees degrade to the last successful
+// checkpoint, but a full store must not take down month-long computations.
+func (e *Engine) persistError(in *Instance, context string, err error) {
+	e.emit(Event{Kind: EvPersistError, Instance: in.ID,
+		Detail: fmt.Sprintf("%s: %v", context, err)})
+	if e.opts.OnError != nil {
+		e.opts.OnError(fmt.Errorf("core: persist %s (instance %s): %w", context, in.ID, err))
+	}
+}
+
+// persist checkpoints the instance metadata and every dirty scope as one
+// atomic store batch, so a crash mid-checkpoint never leaves the store
+// with a torn view of the instance (metadata from the new state, scopes
+// from the old). On the disk store the batch is one group-committed WAL
+// append — one fsync per checkpoint instead of one per record.
 func (e *Engine) persist(in *Instance) {
 	meta := instanceDTO{
 		ID: in.ID, Template: in.Template, Status: in.Status,
@@ -96,8 +112,11 @@ func (e *Engine) persist(in *Instance) {
 		Failures: in.Failures, Retries: in.Retries,
 		Outputs: in.Outputs, FailureReason: in.FailureReason,
 	}
-	if data, err := json.Marshal(meta); err == nil {
-		e.opts.Store.Put(store.Instance, metaKey(in.ID), data)
+	ops := make([]store.Op, 0, 1+len(in.scopes))
+	if data, err := json.Marshal(meta); err != nil {
+		e.persistError(in, "marshal metadata", err)
+	} else {
+		ops = append(ops, store.Op{Space: store.Instance, Key: metaKey(in.ID), Value: data})
 	}
 	// Deterministic scope order.
 	ids := make([]string, 0, len(in.scopes))
@@ -107,12 +126,27 @@ func (e *Engine) persist(in *Instance) {
 		}
 	}
 	sort.Strings(ids)
+	flushed := make([]*scope, 0, len(ids))
 	for _, id := range ids {
 		sc := in.scopes[id]
-		if data, err := json.Marshal(scopeToDTO(sc)); err == nil {
-			e.opts.Store.Put(store.Instance, scopeKey(in.ID, id), data)
-			sc.dirty = false
+		data, err := json.Marshal(scopeToDTO(sc))
+		if err != nil {
+			// The scope stays dirty; a later checkpoint retries it.
+			e.persistError(in, "marshal scope "+scopeKey(in.ID, id), err)
+			continue
 		}
+		ops = append(ops, store.Op{Space: store.Instance, Key: scopeKey(in.ID, id), Value: data})
+		flushed = append(flushed, sc)
+	}
+	if len(ops) == 0 {
+		return
+	}
+	if err := e.opts.Store.Batch(ops); err != nil {
+		e.persistError(in, "checkpoint batch", err)
+		return // everything stays dirty for the next checkpoint
+	}
+	for _, sc := range flushed {
+		sc.dirty = false
 	}
 }
 
@@ -148,25 +182,41 @@ func scopeToDTO(sc *scope) scopeDTO {
 // about all processes already executed").
 func (e *Engine) archive(in *Instance) {
 	s := e.opts.Store
-	move := func(key string) {
-		if v, ok, _ := s.Get(store.Instance, key); ok {
-			s.Put(store.History, key, v)
-			s.Delete(store.Instance, key)
-		}
-	}
 	// Force a final full persist so history is complete.
 	for _, sc := range in.scopes {
 		sc.dirty = true
 	}
 	e.persist(in)
-	move(metaKey(in.ID))
+	keys := make([]string, 0, 1+len(in.scopes))
+	keys = append(keys, metaKey(in.ID))
 	ids := make([]string, 0, len(in.scopes))
 	for id := range in.scopes {
 		ids = append(ids, id)
 	}
 	sort.Strings(ids)
 	for _, id := range ids {
-		move(scopeKey(in.ID, id))
+		keys = append(keys, scopeKey(in.ID, id))
+	}
+	// One atomic batch moves every record: a crash mid-archive never
+	// leaves an instance half in the instance space, half in history.
+	ops := make([]store.Op, 0, 2*len(keys))
+	for _, key := range keys {
+		v, ok, err := s.Get(store.Instance, key)
+		if err != nil {
+			e.persistError(in, "archive read "+key, err)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		ops = append(ops, store.Op{Space: store.History, Key: key, Value: v})
+		ops = append(ops, store.Op{Space: store.Instance, Key: key, Delete: true})
+	}
+	if len(ops) == 0 {
+		return
+	}
+	if err := s.Batch(ops); err != nil {
+		e.persistError(in, "archive batch", err)
 	}
 }
 
@@ -213,13 +263,19 @@ func (e *Engine) Recover() (int, error) {
 	recovered := 0
 	for _, id := range ids {
 		meta := metas[id]
-		if _, exists := e.instances[id]; exists {
+		if _, exists := e.lookup(id); exists {
 			continue // already live (Recover on a running engine)
 		}
+		// Rebuild under the instance's shard so concurrent pumps that
+		// pick up the requeued work serialize against the rebuild.
+		mu := e.shardFor(id)
+		mu.Lock()
 		in, err := e.rebuildInstance(meta, scopes[id])
 		if err != nil {
+			mu.Unlock()
 			return recovered, err
 		}
+		e.emu.Lock()
 		e.instances[id] = in
 		e.order = append(e.order, id)
 		// Track the numeric suffix so new IDs stay unique.
@@ -227,9 +283,11 @@ func (e *Engine) Recover() (int, error) {
 		if _, err := fmt.Sscanf(id, "p%d", &n); err == nil && n > e.nextID {
 			e.nextID = n
 		}
+		e.emu.Unlock()
 		recovered++
 		e.emit(Event{Kind: EvServerRecovered, Instance: id,
 			Detail: fmt.Sprintf("status=%s", in.Status)})
+		e.endTurn(in, mu, false)
 	}
 	e.Pump()
 	return recovered, nil
@@ -239,7 +297,7 @@ func (e *Engine) Recover() (int, error) {
 // navigation.
 func (e *Engine) rebuildInstance(meta instanceDTO, scopeDTOs []scopeDTO) (*Instance, error) {
 	in := &Instance{
-		ID: meta.ID, Template: meta.Template, Status: meta.Status,
+		ID: meta.ID, Template: meta.Template,
 		Priority: meta.Priority, Nice: meta.Nice,
 		Started: meta.Started, Ended: meta.Ended,
 		Activities: meta.Activities, CPU: meta.CPU,
@@ -247,6 +305,7 @@ func (e *Engine) rebuildInstance(meta instanceDTO, scopeDTOs []scopeDTO) (*Insta
 		Outputs: meta.Outputs, FailureReason: meta.FailureReason,
 		scopes: make(map[string]*scope),
 	}
+	in.setStatus(meta.Status)
 	// Sort records so parents come before children (shorter IDs first;
 	// root "" is shortest).
 	sort.Slice(scopeDTOs, func(i, j int) bool {
@@ -380,6 +439,16 @@ func (e *Engine) resumeScope(in *Instance, sc *scope) {
 					e.spawnSubprocess(in, sc, t, ts)
 				})
 			}
+		}
+	}
+	// Root activations are unconditional at scope start, so a root still
+	// inactive in the checkpoint means its activation was lost (crash
+	// between the scope's first checkpoint and the next one). Re-derive
+	// it; activateTask is a no-op for tasks past inactive.
+	if !sc.Done {
+		e.activateRoots(in, sc)
+		if in.Status == InstanceFailed {
+			return
 		}
 	}
 	// Re-derive connector decisions from terminal tasks so targets that

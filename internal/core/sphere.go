@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"sort"
 
-	"bioopera/internal/cluster"
 	"bioopera/internal/ocr"
 	"bioopera/internal/store"
 )
@@ -87,9 +86,14 @@ func (e *Engine) abortSphere(in *Instance, sc *scope, t *ocr.Task, ts *taskState
 	}
 
 	// 2. Drop queued work and kill running work belonging to the sphere.
+	// The shard we hold covers only this instance, so the dispatcher maps
+	// are scanned under dmu and filtered to our instance; kills are
+	// deferred to endTurn (executors may deliver the kill completion
+	// synchronously, which would re-enter this shard).
+	e.dmu.Lock()
 	var queuedIDs []string
 	for id, ref := range e.queued {
-		if ref.sc.defunct {
+		if ref.inst == in && ref.sc.defunct {
 			queuedIDs = append(queuedIDs, id)
 		}
 	}
@@ -100,15 +104,15 @@ func (e *Engine) abortSphere(in *Instance, sc *scope, t *ocr.Task, ts *taskState
 	}
 	var runningIDs []string
 	for id, ref := range e.running {
-		if ref.sc.defunct {
+		if ref.inst == in && ref.sc.defunct {
 			runningIDs = append(runningIDs, id)
 		}
 	}
 	sort.Strings(runningIDs)
 	for _, id := range runningIDs {
-		ref := e.running[id]
-		e.opts.Executor.Kill(cluster.JobID(id), ref.ts.Node)
+		in.pendingKills = append(in.pendingKills, pendingKill{job: id, node: e.running[id].node})
 	}
+	e.dmu.Unlock()
 
 	// 3. Undo completed activities in reverse completion order.
 	type undoItem struct {
@@ -158,7 +162,6 @@ func (e *Engine) abortSphere(in *Instance, sc *scope, t *ocr.Task, ts *taskState
 	e.touch(sc)
 	e.persist(in)
 	e.handleProgramFailure(in, sc, t, ts, cause)
-	e.Pump()
 }
 
 // runUndo invokes an activity's compensation program with the activity's

@@ -5,14 +5,18 @@
 // state transition so month-long computations survive node crashes, server
 // restarts, and manual suspension.
 //
-// The engine is a synchronous state machine. It is driven either by the
-// discrete-event simulator (all experiments) or by a local real-time
-// driver (the runnable examples); both deliver cluster completions and
-// control calls from a single logical thread.
+// The engine is internally synchronized: each instance's navigation is
+// strictly serialized by an instance-sharded lock table, while independent
+// instances execute and checkpoint concurrently. Cross-instance state (the
+// activity queue, templates, placement) sits behind a thin synchronized
+// front-end. The discrete-event simulator drives everything from a single
+// goroutine, so sim runs stay deterministic; the local real-time driver
+// delivers completions from worker goroutines directly.
 package core
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"bioopera/internal/ocr"
@@ -196,6 +200,17 @@ type Instance struct {
 	root   *scope
 	scopes map[string]*scope
 
+	// status mirrors Status atomically so the dispatcher can test
+	// dispatchability without taking the instance's shard lock. Written
+	// only via setStatus (under the shard lock).
+	status atomic.Int32
+
+	// pendingKills buffers Executor.Kill requests issued during
+	// navigation; they run once the instance's shard lock is released,
+	// because executors may deliver the kill completion synchronously
+	// (which would re-enter the same shard). Guarded by the shard lock.
+	pendingKills []pendingKill
+
 	// Accounting (§5.2 measurements).
 	Activities int           // |A|: executed activity completions
 	CPU        time.Duration // CPU(Π): summed activity CPU time
@@ -208,6 +223,23 @@ type Instance struct {
 	// FailureReason records why the instance failed.
 	FailureReason string
 }
+
+// pendingKill is one deferred Executor.Kill request.
+type pendingKill struct {
+	job  string
+	node string
+}
+
+// setStatus updates Status and its atomic mirror. Callers hold the
+// instance's shard lock (or own the instance exclusively, as during
+// construction and recovery).
+func (in *Instance) setStatus(s InstanceStatus) {
+	in.Status = s
+	in.status.Store(int32(s))
+}
+
+// statusNow reads the status mirror without the shard lock.
+func (in *Instance) statusNow() InstanceStatus { return InstanceStatus(in.status.Load()) }
 
 // WALL returns the instance's wall-clock (virtual) duration so far or
 // total.

@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -361,5 +362,199 @@ func TestBackendsEquivalentProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestBatchAtomicAcrossSpaces(t *testing.T) {
+	for name, mk := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			defer s.Close()
+			s.Put(Instance, "gone", []byte("old"))
+			ops := []Op{
+				{Space: Instance, Key: "inst/p1", Value: []byte("meta")},
+				{Space: Instance, Key: "scope/p1/-", Value: []byte("root")},
+				{Space: History, Key: "inst/p0", Value: []byte("done")},
+				{Space: Instance, Key: "gone", Delete: true},
+			}
+			if err := s.Batch(ops); err != nil {
+				t.Fatal(err)
+			}
+			if v, ok, _ := s.Get(Instance, "inst/p1"); !ok || string(v) != "meta" {
+				t.Fatalf("batch put missing: (%q,%v)", v, ok)
+			}
+			if v, ok, _ := s.Get(History, "inst/p0"); !ok || string(v) != "done" {
+				t.Fatalf("cross-space batch put missing: (%q,%v)", v, ok)
+			}
+			if _, ok, _ := s.Get(Instance, "gone"); ok {
+				t.Fatal("batch delete not applied")
+			}
+		})
+	}
+}
+
+func TestBatchEmpty(t *testing.T) {
+	for name, mk := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			defer s.Close()
+			if err := s.Batch(nil); err != nil {
+				t.Fatalf("empty batch: %v", err)
+			}
+			if err := s.Batch([]Op{}); err != nil {
+				t.Fatalf("zero-length batch: %v", err)
+			}
+		})
+	}
+}
+
+func TestBatchInvalidSpaceRejectsWhole(t *testing.T) {
+	for name, mk := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			defer s.Close()
+			ops := []Op{
+				{Space: Instance, Key: "good", Value: []byte("v")},
+				{Space: Space(99), Key: "bad", Value: []byte("v")},
+			}
+			if err := s.Batch(ops); err == nil {
+				t.Fatal("batch with invalid space succeeded")
+			}
+			if _, ok, _ := s.Get(Instance, "good"); ok {
+				t.Fatal("partial batch applied despite invalid op")
+			}
+		})
+	}
+}
+
+func TestBatchSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDisk(dir, DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Put(Instance, "stale", []byte("x"))
+	err = d.Batch([]Op{
+		{Space: Instance, Key: "a", Value: []byte("1")},
+		{Space: Configuration, Key: "b", Value: []byte("2")},
+		{Space: Instance, Key: "stale", Delete: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+	d2, err := OpenDisk(dir, DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if v, _, _ := d2.Get(Instance, "a"); string(v) != "1" {
+		t.Fatalf("batch put lost across reopen: %q", v)
+	}
+	if v, _, _ := d2.Get(Configuration, "b"); string(v) != "2" {
+		t.Fatalf("cross-space batch put lost across reopen: %q", v)
+	}
+	if _, ok, _ := d2.Get(Instance, "stale"); ok {
+		t.Fatal("batch delete lost across reopen")
+	}
+}
+
+func TestBatchGroupCommitsSyncs(t *testing.T) {
+	d, err := OpenDisk(t.TempDir(), DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	before := d.WALSyncs()
+	ops := make([]Op, 16)
+	for i := range ops {
+		ops[i] = Op{Space: Instance, Key: fmt.Sprintf("k%02d", i), Value: []byte("v")}
+	}
+	if err := d.Batch(ops); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.WALSyncs() - before; got != 1 {
+		t.Fatalf("batch of 16 ops took %d fsyncs, want 1", got)
+	}
+}
+
+// TestConcurrentBatchGroupCommit hammers Batch/Put/AppendEvent from many
+// goroutines: every mutation must survive a reopen (each caller's ack means
+// its ops are durable), journal sequences must be unique, and the commit
+// groups formed under contention must cost no more fsyncs than there were
+// callers.
+func TestConcurrentBatchGroupCommit(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDisk(dir, DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := d.WALSyncs()
+	const goroutines = 8
+	const perG = 10
+	seqs := make([][]uint64, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				key := fmt.Sprintf("g%d-i%d", g, i)
+				err := d.Batch([]Op{
+					{Space: Instance, Key: key, Value: []byte(key)},
+					{Space: History, Key: key, Value: []byte(key)},
+				})
+				if err != nil {
+					t.Errorf("Batch: %v", err)
+					return
+				}
+				seq, err := d.AppendEvent([]byte(key))
+				if err != nil {
+					t.Errorf("AppendEvent: %v", err)
+					return
+				}
+				seqs[g] = append(seqs[g], seq)
+			}
+		}(g)
+	}
+	wg.Wait()
+	calls := uint64(goroutines * perG * 2) // one Batch + one AppendEvent each
+	if got := d.WALSyncs() - before; got > calls {
+		t.Errorf("%d fsyncs for %d mutation calls — group commit regressed", got, calls)
+	}
+	seen := make(map[uint64]bool)
+	for _, ss := range seqs {
+		for _, s := range ss {
+			if seen[s] {
+				t.Errorf("journal seq %d assigned twice", s)
+			}
+			seen[s] = true
+		}
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := OpenDisk(dir, DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	for g := 0; g < goroutines; g++ {
+		for i := 0; i < perG; i++ {
+			key := fmt.Sprintf("g%d-i%d", g, i)
+			for _, sp := range []Space{Instance, History} {
+				v, ok, err := d2.Get(sp, key)
+				if err != nil || !ok || string(v) != key {
+					t.Fatalf("%s/%s lost after reopen (ok=%v err=%v)", sp, key, ok, err)
+				}
+			}
+		}
+	}
+	events := 0
+	if err := d2.Events(1, func(Event) error { events++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if events != goroutines*perG {
+		t.Errorf("journal has %d events after reopen, want %d", events, goroutines*perG)
 	}
 }

@@ -16,6 +16,13 @@
 //
 //	uint32 little-endian length | uint32 little-endian CRC-32 (IEEE) of data | data
 //
+// The high bit of the length word is the batch-continuation flag: a frame
+// with the flag set belongs to an atomic batch whose remaining frames
+// follow (the final frame of a batch has the flag clear, as does every
+// standalone record). A batch is committed only by its final frame, so a
+// crash in the middle of a group-committed batch truncates the log back to
+// the batch's first frame — batches replay all-or-nothing.
+//
 // Sequence numbers are implicit: the first record of a segment has the
 // sequence encoded in the file name, and records are dense within and
 // across segments.
@@ -39,6 +46,10 @@ const (
 	segPrefix = "wal-"
 	segSuffix = ".log"
 	headerLen = 8 // length + crc
+
+	// batchFlag marks a frame whose batch continues in the next frame.
+	batchFlag    uint32 = 1 << 31
+	maxRecordLen        = 1<<31 - 1
 )
 
 // DefaultSegmentSize is the byte threshold after which a new segment file
@@ -75,6 +86,7 @@ type Log struct {
 	size    int64  // bytes written to current segment
 	nextSeq uint64 // sequence the next Append will get
 	segs    []uint64
+	syncs   uint64 // fsyncs issued by appends (group-commit metric)
 }
 
 // Open opens (creating if necessary) the log in dir. It scans existing
@@ -150,10 +162,13 @@ func (l *Log) scan() error {
 	return nil
 }
 
-// countRecords returns the number of complete records in the segment and
-// the byte offset just past the last complete record. For non-tail
-// segments a bad checksum is ErrCorrupt; for the tail it just ends the scan
-// (torn write).
+// countRecords returns the number of committed records in the segment and
+// the byte offset just past the last committed record. A record is
+// committed once the frame that closes its batch (continuation flag clear)
+// is intact; a torn tail — including a batch whose final frame never made
+// it to disk — rolls back to the previous commit point. For non-tail
+// segments a bad checksum or unterminated batch is ErrCorrupt; for the
+// tail it just ends the scan (torn write).
 func countRecords(path string, tail bool) (n int, validBytes int64, err error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -161,10 +176,18 @@ func countRecords(path string, tail bool) (n int, validBytes int64, err error) {
 	}
 	defer f.Close()
 	var hdr [headerLen]byte
-	var off int64
+	var off int64 // end of the last committed record
+	var cur int64 // current scan position
+	seen := 0     // records scanned, including an open batch prefix
 	for {
 		if _, err := io.ReadFull(f, hdr[:]); err != nil {
 			if err == io.EOF {
+				if seen != n {
+					if tail {
+						return n, off, nil
+					}
+					return 0, 0, fmt.Errorf("%w: unterminated batch in %s", ErrCorrupt, path)
+				}
 				return n, off, nil
 			}
 			if errors.Is(err, io.ErrUnexpectedEOF) {
@@ -175,7 +198,8 @@ func countRecords(path string, tail bool) (n int, validBytes int64, err error) {
 			}
 			return 0, 0, fmt.Errorf("wal: %w", err)
 		}
-		length := binary.LittleEndian.Uint32(hdr[0:4])
+		raw := binary.LittleEndian.Uint32(hdr[0:4])
+		length := raw &^ batchFlag
 		sum := binary.LittleEndian.Uint32(hdr[4:8])
 		data := make([]byte, length)
 		if _, err := io.ReadFull(f, data); err != nil {
@@ -193,8 +217,12 @@ func countRecords(path string, tail bool) (n int, validBytes int64, err error) {
 			}
 			return 0, 0, fmt.Errorf("%w: bad checksum in %s", ErrCorrupt, path)
 		}
-		off += headerLen + int64(length)
-		n++
+		cur += headerLen + int64(length)
+		seen++
+		if raw&batchFlag == 0 {
+			n = seen
+			off = cur
+		}
 	}
 }
 
@@ -207,31 +235,72 @@ func (l *Log) NextSeq() uint64 {
 
 // Append writes data as the next record and returns its sequence number.
 func (l *Log) Append(data []byte) (uint64, error) {
+	seq, err := l.AppendBatch([][]byte{data})
+	if err != nil {
+		return 0, err
+	}
+	return seq, nil
+}
+
+// AppendBatch writes all records as one atomic batch with a single fsync
+// (group commit) and returns the sequence number of the first record. A
+// crash mid-batch replays as if the batch was never written. An empty
+// batch is a no-op.
+func (l *Log) AppendBatch(records [][]byte) (uint64, error) {
+	if len(records) == 0 {
+		return 0, nil
+	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.file == nil || l.size >= l.opts.SegmentSize {
+		// Rotation happens only between batches, never inside one, so
+		// a batch's frames are always contiguous in one segment (an
+		// oversized batch just overshoots the threshold).
 		if err := l.rotateLocked(); err != nil {
 			return 0, err
 		}
 	}
-	var hdr [headerLen]byte
-	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(data)))
-	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(data))
-	if _, err := l.file.Write(hdr[:]); err != nil {
-		return 0, fmt.Errorf("wal: %w", err)
+	total := 0
+	for _, data := range records {
+		if len(data) > maxRecordLen {
+			return 0, fmt.Errorf("wal: record of %d bytes exceeds maximum", len(data))
+		}
+		total += headerLen + len(data)
 	}
-	if _, err := l.file.Write(data); err != nil {
+	buf := make([]byte, 0, total)
+	var hdr [headerLen]byte
+	for i, data := range records {
+		length := uint32(len(data))
+		if i < len(records)-1 {
+			length |= batchFlag
+		}
+		binary.LittleEndian.PutUint32(hdr[0:4], length)
+		binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(data))
+		buf = append(buf, hdr[:]...)
+		buf = append(buf, data...)
+	}
+	if _, err := l.file.Write(buf); err != nil {
 		return 0, fmt.Errorf("wal: %w", err)
 	}
 	if !l.opts.NoSync {
 		if err := l.file.Sync(); err != nil {
 			return 0, fmt.Errorf("wal: %w", err)
 		}
+		l.syncs++
 	}
-	l.size += headerLen + int64(len(data))
+	l.size += int64(total)
 	seq := l.nextSeq
-	l.nextSeq++
+	l.nextSeq += uint64(len(records))
 	return seq, nil
+}
+
+// Syncs reports how many fsyncs the log has issued since Open (appends
+// only; Close's final flush is not counted). Benchmarks use it to measure
+// group-commit amortization.
+func (l *Log) Syncs() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.syncs
 }
 
 // rotateLocked closes the current segment and opens a new one whose name
@@ -291,7 +360,7 @@ func replaySegment(path string, first, from, end uint64, fn func(Record) error) 
 			}
 			return fmt.Errorf("wal: %w", err)
 		}
-		length := binary.LittleEndian.Uint32(hdr[0:4])
+		length := binary.LittleEndian.Uint32(hdr[0:4]) &^ batchFlag
 		sum := binary.LittleEndian.Uint32(hdr[4:8])
 		data := make([]byte, length)
 		if _, err := io.ReadFull(f, data); err != nil {

@@ -289,3 +289,161 @@ func TestRoundTripProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestAppendBatch(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq, err := l.AppendBatch(nil); err != nil || seq != 0 {
+		t.Fatalf("empty batch = (%d, %v), want (0, nil)", seq, err)
+	}
+	syncsBefore := l.Syncs()
+	batch := [][]byte{[]byte("one"), []byte("two"), []byte("three")}
+	seq, err := l.AppendBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 1 {
+		t.Fatalf("first batch seq = %d, want 1", seq)
+	}
+	if got := l.Syncs() - syncsBefore; got != 1 {
+		t.Fatalf("batch of 3 took %d fsyncs, want 1", got)
+	}
+	// Sequence numbering continues past the whole batch.
+	seq2, err := l.Append([]byte("four"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq2 != 4 {
+		t.Fatalf("append after batch seq = %d, want 4", seq2)
+	}
+	l.Close()
+
+	// Replay sees every record, flags masked.
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	var got []string
+	if err := l2.Replay(1, func(r Record) error {
+		got = append(got, string(r.Data))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"one", "two", "three", "four"}
+	if len(got) != len(want) {
+		t.Fatalf("replayed %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("replayed %v, want %v", got, want)
+		}
+	}
+}
+
+// TestCrashMidBatchAtEveryByte is the group-commit atomicity test: a log
+// holding two single records followed by a 4-record batch is truncated at
+// every byte offset. Recovery must see either none of the batch or all of
+// it — never a partial batch — and single records recover individually as
+// before.
+func TestCrashMidBatchAtEveryByte(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	singles := [][]byte{[]byte("alpha"), []byte("beta-beta")}
+	for _, rec := range singles {
+		if _, err := l.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	batch := [][]byte{
+		[]byte("b0"),
+		bytes.Repeat([]byte("b1"), 9),
+		[]byte("b2-middle"),
+		bytes.Repeat([]byte("b3"), 4),
+	}
+	if _, err := l.AppendBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	segs, err := os.ReadDir(dir)
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("want 1 segment, got %d (%v)", len(segs), err)
+	}
+	segName := segs[0].Name()
+	full, err := os.ReadFile(filepath.Join(dir, segName))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Byte offsets at which each single record commits, and the offset at
+	// which the whole batch commits (its final frame's end).
+	var commitPoints []int // commitPoints[i] = bytes needed for i+1 records
+	off := 0
+	for _, rec := range singles {
+		off += headerLen + len(rec)
+		commitPoints = append(commitPoints, off)
+	}
+	batchStart := off
+	for _, rec := range batch {
+		off += headerLen + len(rec)
+	}
+	batchEnd := off
+	_ = batchStart
+
+	want := func(cut int) int {
+		n := 0
+		for _, p := range commitPoints {
+			if cut >= p {
+				n++
+			}
+		}
+		if cut >= batchEnd {
+			n += len(batch)
+		}
+		return n
+	}
+
+	all := append(append([][]byte{}, singles...), batch...)
+	for cut := 0; cut <= len(full); cut++ {
+		cutDir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(cutDir, segName), full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l2, err := Open(cutDir, Options{NoSync: true})
+		if err != nil {
+			t.Fatalf("cut %d: open: %v", cut, err)
+		}
+		var got [][]byte
+		if err := l2.Replay(1, func(r Record) error {
+			got = append(got, r.Data)
+			return nil
+		}); err != nil {
+			t.Fatalf("cut %d: replay: %v", cut, err)
+		}
+		wantN := want(cut)
+		if len(got) != wantN {
+			t.Fatalf("cut %d: recovered %d records, want %d (batch must be all-or-nothing)", cut, len(got), wantN)
+		}
+		for i := range got {
+			if !bytes.Equal(got[i], all[i]) {
+				t.Fatalf("cut %d: record %d corrupted", cut, i)
+			}
+		}
+		// The repaired log accepts appends with the right sequence.
+		seq, err := l2.Append([]byte("post-crash"))
+		if err != nil {
+			t.Fatalf("cut %d: append: %v", cut, err)
+		}
+		if seq != uint64(wantN+1) {
+			t.Fatalf("cut %d: post-crash seq = %d, want %d", cut, seq, wantN+1)
+		}
+		l2.Close()
+	}
+}

@@ -1,0 +1,32 @@
+#!/bin/sh
+# Repo hygiene + test gate. Run from the repo root:
+#
+#   ./scripts/check.sh          # vet, gofmt, build, tests
+#   ./scripts/check.sh -race    # same, plus the race-detector suite
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== go build"
+go build ./...
+
+echo "== go test"
+go test ./...
+
+if [ "${1:-}" = "-race" ]; then
+    echo "== go test -race"
+    go test -race ./...
+fi
+
+echo "OK"

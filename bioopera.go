@@ -184,6 +184,8 @@ var (
 	MapTo = ocr.MapTo
 	// Retry sets the retry count.
 	Retry = ocr.Retry
+	// TaskTimeout bounds one attempt's run time in seconds.
+	TaskTimeout = ocr.Timeout
 	// TaskPriority sets the scheduling priority.
 	TaskPriority = ocr.Priority
 	// TaskCost sets the cost hint in seconds.

@@ -12,6 +12,8 @@
 //	bioopera simulate <file.ocr> [flags]  dry-run on the cluster simulator (virtual time)
 //	bioopera allvsall [flags]             real all-vs-all on synthetic sequences
 //	bioopera tower [flags]                real tower-of-information pipeline
+//	bioopera serve <file.ocr> [flags]     engine server for remote worker agents
+//	bioopera worker <file.ocr> [flags]    worker agent executing launched activities
 package main
 
 import (
@@ -51,6 +53,10 @@ func main() {
 		err = cmdAllVsAll(os.Args[2:])
 	case "tower":
 		err = cmdTower(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
+	case "worker":
+		err = cmdWorker(os.Args[2:])
 	case "history":
 		err = cmdHistory(os.Args[2:])
 	case "help", "-h", "--help":
@@ -77,6 +83,8 @@ commands:
   simulate <file.ocr> [flags]  dry-run on the cluster simulator (virtual time)
   allvsall [flags]             run a real all-vs-all on synthetic sequences
   tower [flags]                run the real tower-of-information pipeline
+  serve <file.ocr> [flags]     run the engine as a server for remote workers
+  worker <file.ocr> [flags]    run a worker agent against a serve instance
   history <store-dir> [flags]  inspect a persistent store: past runs, events
 
 run and simulate accept -store <dir> to persist templates, state and

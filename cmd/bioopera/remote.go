@@ -1,0 +1,152 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"bioopera/internal/core"
+	"bioopera/internal/remote"
+)
+
+// cmdServe runs the engine as a network server: worker agents connect over
+// TCP, activities dispatch to them, and heartbeat loss fails work over to
+// the survivors.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	listen := fs.String("listen", "127.0.0.1:7070", "TCP address for worker agents")
+	template := fs.String("template", "", "process to start (default: first in file)")
+	var inputFlags repeated
+	fs.Var(&inputFlags, "input", "process input as name=value (repeatable)")
+	workers := fs.Int("workers", 1, "worker agents to wait for before starting")
+	timeout := fs.Duration("timeout", 10*time.Minute, "completion timeout")
+	beat := fs.Duration("heartbeat", time.Second, "worker heartbeat cadence")
+	beatTimeout := fs.Duration("heartbeat-timeout", 0, "silence before a worker is declared dead (default 3× heartbeat)")
+	storeDir := fs.String("store", "", "persist state and history to this directory")
+	verbose := fs.Bool("v", false, "log protocol and node events")
+	file, err := fileThenFlags(fs, args, "usage: bioopera serve <file.ocr> [flags]")
+	if err != nil {
+		return err
+	}
+	ps, err := loadFile(file)
+	if err != nil {
+		return err
+	}
+	if *template == "" {
+		*template = ps[0].Name
+	}
+	inputs, err := parseInputs(inputFlags)
+	if err != nil {
+		return err
+	}
+	st, err := openStore(*storeDir)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	var logf func(string, ...any)
+	if *verbose {
+		logf = func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) }
+	}
+	rt, err := remote.NewRuntime(remote.Config{
+		Addr:             *listen,
+		Store:            st,
+		Library:          stubLibrary(ps, *verbose),
+		HeartbeatEvery:   *beat,
+		HeartbeatTimeout: *beatTimeout,
+		Logf:             logf,
+		OnEvent: func(ev core.Event) {
+			switch ev.Kind {
+			case core.EvNodeJoined, core.EvNodeDown:
+				fmt.Printf("worker %s: %s (%s)\n", ev.Node, ev.Kind, ev.Detail)
+			}
+		},
+		OnError: func(err error) {
+			fmt.Fprintf(os.Stderr, "bioopera: %v\n", err)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer rt.Close()
+	var regErr error
+	rt.Do(func(e *core.Engine) {
+		for _, p := range ps {
+			if err := e.RegisterTemplate(p); err != nil {
+				regErr = err
+				return
+			}
+		}
+	})
+	if regErr != nil {
+		return regErr
+	}
+	fmt.Printf("listening on %s, waiting for %d worker(s)\n", rt.Addr(), *workers)
+	deadline := time.Now().Add(*timeout)
+	for {
+		if n, _, _ := rt.Server.Stats(); n >= *workers {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("no %d workers connected within %v", *workers, *timeout)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	id, err := rt.StartProcess(*template, inputs, core.StartOptions{})
+	if err != nil {
+		return err
+	}
+	in, err := rt.Wait(id, *timeout)
+	if err != nil {
+		return err
+	}
+	live, dead, dropped := rt.Server.Stats()
+	fmt.Printf("workers: %d live, %d declared dead, %d stale completions dropped\n", live, dead, dropped)
+	return report(in)
+}
+
+// cmdWorker runs a worker agent: it registers its CPUs with a server and
+// executes launched activities with the same stub programs `run` uses,
+// until the server connection ends.
+func cmdWorker(args []string) error {
+	fs := flag.NewFlagSet("worker", flag.ExitOnError)
+	connect := fs.String("connect", "127.0.0.1:7070", "server address")
+	name := fs.String("name", "", "worker name (default: host-pid)")
+	cpus := fs.Int("cpus", 2, "CPU slots to offer")
+	verbose := fs.Bool("v", false, "trace activity invocations and protocol")
+	file, err := fileThenFlags(fs, args, "usage: bioopera worker <file.ocr> [flags]")
+	if err != nil {
+		return err
+	}
+	ps, err := loadFile(file)
+	if err != nil {
+		return err
+	}
+	if *name == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "worker"
+		}
+		*name = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	var logf func(string, ...any)
+	if *verbose {
+		logf = func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) }
+	}
+	a, err := remote.Dial(*connect, remote.AgentConfig{
+		Name:    *name,
+		CPUs:    *cpus,
+		Library: stubLibrary(ps, *verbose),
+		Logf:    logf,
+	})
+	if err != nil {
+		return err
+	}
+	defer a.Close()
+	fmt.Printf("worker %s: %d CPUs registered with %s (incarnation %d)\n",
+		*name, *cpus, *connect, a.Incarnation())
+	a.Wait()
+	fmt.Printf("worker %s: server connection closed\n", *name)
+	return nil
+}

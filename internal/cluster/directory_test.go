@@ -1,0 +1,69 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestDirectoryJoinReserveRelease(t *testing.T) {
+	d := NewDirectory()
+	d.Join(NodeView{Name: "w1-00", OS: "linux", Up: true, CPUs: 2, Speed: 1})
+	d.Join(NodeView{Name: "w2-00", OS: "linux", Up: true, CPUs: 1, Speed: 1})
+	if d.Len() != 2 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	if err := d.Reserve("w1-00"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Reserve("w1-00"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Reserve("w1-00"); !errors.Is(err, ErrNoFreeCPU) {
+		t.Fatalf("third Reserve = %v, want ErrNoFreeCPU", err)
+	}
+	if err := d.Reserve("ghost"); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("Reserve(ghost) = %v, want ErrUnknownNode", err)
+	}
+	views := d.Nodes()
+	if len(views) != 2 || views[0].Name != "w1-00" || views[0].Running != 2 {
+		t.Fatalf("Nodes = %+v", views)
+	}
+	d.Release("w1-00")
+	if v, _ := d.Get("w1-00"); v.Running != 1 {
+		t.Fatalf("Running after Release = %d", v.Running)
+	}
+}
+
+func TestDirectoryDownAndRejoin(t *testing.T) {
+	d := NewDirectory()
+	d.Join(NodeView{Name: "w1-00", Up: true, CPUs: 1, Speed: 1})
+	if err := d.Reserve("w1-00"); err != nil {
+		t.Fatal(err)
+	}
+	if !d.SetUp("w1-00", false) {
+		t.Fatal("SetUp unknown")
+	}
+	if err := d.Reserve("w1-00"); !errors.Is(err, ErrNodeDown) {
+		t.Fatalf("Reserve(down) = %v, want ErrNodeDown", err)
+	}
+	// A release straggling in after the node went down must not underflow.
+	d.Release("w1-00")
+	if v, _ := d.Get("w1-00"); v.Running != 0 {
+		t.Fatalf("Running = %d", v.Running)
+	}
+	// Rejoin refreshes the view in place and keeps its position.
+	d.Join(NodeView{Name: "w1-00", Up: true, CPUs: 4, Speed: 2})
+	v, ok := d.Get("w1-00")
+	if !ok || !v.Up || v.CPUs != 4 || v.Running != 0 {
+		t.Fatalf("rejoined view = %+v", v)
+	}
+	if d.Len() != 1 {
+		t.Fatalf("Len after rejoin = %d", d.Len())
+	}
+	if !d.Leave("w1-00") || d.Leave("w1-00") {
+		t.Fatal("Leave bookkeeping broken")
+	}
+	if d.Len() != 0 {
+		t.Fatalf("Len after Leave = %d", d.Len())
+	}
+}

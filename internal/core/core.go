@@ -23,15 +23,42 @@ var (
 	ErrBadState        = errors.New("core: operation invalid in current state")
 )
 
-// Executor abstracts the cluster the dispatcher talks to. The simulated
-// cluster (internal/cluster) and the local real-time pool both implement
-// it.
+// Launch describes one activity dispatch in full: the scheduling decision
+// (job, node, cost, niceness) plus the resolved external binding. Each
+// executor uses the part it needs — the simulated cluster models only the
+// cost, the local pool calls Run in-process, and the remote server ships
+// Program/Inputs/Ctx over the wire to a worker agent.
+type Launch struct {
+	Job  cluster.JobID
+	Node string
+	Cost time.Duration
+	Nice bool
+	// Timeout bounds this attempt's wall-clock run time (0 = no limit).
+	// The dispatcher enforces it through Kill; executors may also use it
+	// as a hint but need not act on it.
+	Timeout time.Duration
+	// Program names the external binding; Inputs and Ctx are what its
+	// invocation receives. Executors that run programs off-engine use
+	// these to reconstruct the call on the worker.
+	Program string
+	Inputs  map[string]ocr.Value
+	Ctx     ProgramCtx
+	// Run invokes the binding in-process (the local pool's path). The
+	// simulated cluster ignores it — leaving Outputs nil in the
+	// completion makes the engine run the program at completion time,
+	// which keeps simulated traces deterministic.
+	Run func() (map[string]ocr.Value, error)
+}
+
+// Executor abstracts the cluster the dispatcher talks to: the simulated
+// cluster, the local goroutine pool, and the remote worker server all
+// implement it.
 type Executor interface {
 	// Nodes returns the current placement view.
 	Nodes() []cluster.NodeView
-	// Start launches a job; completions arrive via the engine's
+	// Launch starts a job; completions arrive via the engine's
 	// HandleCompletion.
-	Start(id cluster.JobID, node string, cost time.Duration, nice bool) error
+	Launch(l Launch) error
 	// Kill aborts a running job; a completion with an error follows.
 	Kill(id cluster.JobID, node string) error
 }
@@ -60,6 +87,7 @@ const (
 	EvTaskEnded         EventKind = "task-ended"
 	EvTaskFailed        EventKind = "task-failed"
 	EvTaskRetried       EventKind = "task-retried"
+	EvTaskTimeout       EventKind = "task-timeout"
 	EvTaskDead          EventKind = "task-dead"
 	EvServerRecovered   EventKind = "server-recovered"
 	EvSphereAborted     EventKind = "sphere-aborted"
@@ -68,6 +96,8 @@ const (
 	EvTaskAwaiting      EventKind = "task-awaiting"
 	EvSignal            EventKind = "signal"
 	EvPersistError      EventKind = "persist-error"
+	EvNodeJoined        EventKind = "node-joined"
+	EvNodeDown          EventKind = "node-down"
 )
 
 // Event is one engine-level occurrence, persisted to the history journal.
@@ -111,6 +141,12 @@ type Options struct {
 	// (persist/archive) failures that have no caller to return to. May
 	// be called from any goroutine driving the engine.
 	OnError func(error)
+	// After schedules f to run once, d from now, returning a cancel
+	// function; the dispatcher uses it to enforce task TIMEOUT
+	// annotations. Defaults to time.AfterFunc (real time); the sim
+	// runtime installs a virtual-time timer so timeouts stay
+	// deterministic.
+	After func(d time.Duration, f func()) (cancel func())
 }
 
 // queuedRef connects a queued sched.Job back to its task.
@@ -119,6 +155,9 @@ type queuedRef struct {
 	sc   *scope
 	ts   *taskState
 	node string // dispatch target; set under dmu when the job starts running
+	// cancelTimeout stops the TIMEOUT timer armed at dispatch; set and
+	// cleared under dmu while the job is in the running map.
+	cancelTimeout func()
 }
 
 // Engine is the BioOpera server: navigator + dispatcher + recovery.
@@ -169,6 +208,12 @@ func New(opts Options) (*Engine, error) {
 	}
 	if opts.Shards <= 0 {
 		opts.Shards = DefaultShards
+	}
+	if opts.After == nil {
+		opts.After = func(d time.Duration, f func()) func() {
+			t := time.AfterFunc(d, f)
+			return func() { t.Stop() }
+		}
 	}
 	e := &Engine{
 		opts:      opts,

@@ -970,3 +970,28 @@ func TestPeriodicSnapshotBoundsWAL(t *testing.T) {
 		}
 	}
 }
+
+func TestSimTimeoutTimerCancelled(t *testing.T) {
+	// A generous TIMEOUT on a fast activity must never fire: the timer is
+	// armed on the virtual clock at dispatch and cancelled at completion.
+	var timeouts int
+	rt := newRuntime(t, SimConfig{Options: Options{OnEvent: func(ev Event) {
+		if ev.Kind == EvTaskTimeout {
+			timeouts++
+		}
+	}}})
+	register(t, rt, `
+PROCESS Quick {
+  OUTPUT r;
+  ACTIVITY A { CALL test.add(a = 1, b = 2); OUT sum; MAP sum -> r; TIMEOUT 3600; }
+}`)
+	id := start(t, rt, "Quick", nil)
+	rt.Run()
+	in := finished(t, rt, id)
+	if in.Outputs["r"].AsNum() != 3 {
+		t.Fatalf("outputs = %v", in.Outputs)
+	}
+	if timeouts != 0 {
+		t.Fatalf("cancelled TIMEOUT fired %d times", timeouts)
+	}
+}

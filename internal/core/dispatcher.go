@@ -85,20 +85,33 @@ func (e *Engine) dispatch(job sched.Job, node string, ref *queuedRef) bool {
 		}
 		return true
 	}
-	// Reserve the running slot before Start: the local executor can
-	// deliver the completion from its worker goroutine before Start even
+	// Reserve the running slot before Launch: the local executor can
+	// deliver the completion from its worker goroutine before Launch even
 	// returns.
 	e.dmu.Lock()
 	ref.node = node
 	e.running[job.ID] = ref
 	e.dmu.Unlock()
-	var err error
-	if pr, ok := e.opts.Executor.(ProgramRunner); ok {
-		err = pr.StartWithRun(cluster.JobID(job.ID), node, job.Cost, in.Nice, e.programThunk(ref, node))
-	} else {
-		err = e.opts.Executor.Start(cluster.JobID(job.ID), node, job.Cost, in.Nice)
+	t := sc.Proc.Task(ts.Name)
+	l := Launch{
+		Job:     cluster.JobID(job.ID),
+		Node:    node,
+		Cost:    job.Cost,
+		Nice:    in.Nice,
+		Program: t.Program,
+		Inputs:  ts.Inputs,
+		Ctx: ProgramCtx{
+			Instance: in.ID,
+			Task:     ts.Name,
+			Attempt:  ts.Attempts,
+			Node:     node,
+		},
+		Run: e.programThunk(ref, node),
 	}
-	if err != nil {
+	if t.Timeout > 0 {
+		l.Timeout = time.Duration(t.Timeout * float64(time.Second))
+	}
+	if err := e.opts.Executor.Launch(l); err != nil {
 		// Capacity changed under us; requeue and stop draining.
 		e.dmu.Lock()
 		delete(e.running, job.ID)
@@ -116,8 +129,48 @@ func (e *Engine) dispatch(job sched.Job, node string, ref *queuedRef) bool {
 	e.emit(Event{Kind: EvTaskDispatched, Instance: in.ID, Scope: sc.ID,
 		Task: ts.Name, Node: node})
 	e.persist(in)
+	if l.Timeout > 0 {
+		e.armTimeout(job.ID, l.Timeout)
+	}
 	e.endTurn(in, mu, false)
 	return true
+}
+
+// armTimeout starts the TIMEOUT clock for a job just launched. The cancel
+// hook lands in the running ref under dmu; if the completion already beat
+// us there the timer is cancelled on the spot.
+func (e *Engine) armTimeout(jobID string, d time.Duration) {
+	cancel := e.opts.After(d, func() { e.timeoutJob(jobID) })
+	e.dmu.Lock()
+	if ref, ok := e.running[jobID]; ok {
+		ref.cancelTimeout = cancel
+		cancel = nil
+	}
+	e.dmu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+}
+
+// timeoutJob fires when a running attempt exceeds its TIMEOUT: the job is
+// killed, and the resulting ErrJobKilled completion requeues the activity
+// through the normal infrastructure-failure path — a hung activity fails
+// over exactly like one on a crashed node, without consuming a retry.
+func (e *Engine) timeoutJob(jobID string) {
+	e.dmu.Lock()
+	ref, ok := e.running[jobID]
+	var node string
+	if ok {
+		node = ref.node
+		ref.cancelTimeout = nil
+	}
+	e.dmu.Unlock()
+	if !ok {
+		return // completed (or was killed) first
+	}
+	e.emit(Event{Kind: EvTaskTimeout, Instance: ref.inst.ID, Scope: ref.sc.ID,
+		Task: ref.ts.Name, Node: node, Detail: "attempt exceeded TIMEOUT"})
+	e.opts.Executor.Kill(cluster.JobID(jobID), node)
 }
 
 // HandleCompletion receives a job outcome from the cluster. Infrastructure
@@ -129,11 +182,17 @@ func (e *Engine) dispatch(job sched.Job, node string, ref *queuedRef) bool {
 func (e *Engine) HandleCompletion(c cluster.Completion) {
 	e.dmu.Lock()
 	ref, ok := e.running[string(c.Job)]
+	var cancelTimeout func()
 	if ok {
 		delete(e.running, string(c.Job))
 		ref.node = ""
+		cancelTimeout = ref.cancelTimeout
+		ref.cancelTimeout = nil
 	}
 	e.dmu.Unlock()
+	if cancelTimeout != nil {
+		cancelTimeout()
+	}
 	if !ok {
 		// Stale completion from before a server crash: the result is
 		// discarded (the activity was already requeued), but the CPU
@@ -207,15 +266,6 @@ func (e *Engine) HandleCompletion(c cluster.Completion) {
 	in.Activities++
 	e.finishTask(in, sc, t, ts, outputs)
 	e.endTurn(in, mu, true)
-}
-
-// ProgramRunner is implemented by executors that execute the external
-// binding themselves (on a worker) instead of letting the engine run it at
-// completion time.
-type ProgramRunner interface {
-	// StartWithRun launches a job whose program is the given thunk.
-	StartWithRun(id cluster.JobID, node string, cost time.Duration, nice bool,
-		run func() (map[string]ocr.Value, error)) error
 }
 
 // programThunk packages a task's external binding for node-side execution.

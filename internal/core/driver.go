@@ -51,9 +51,23 @@ type SimConfig struct {
 	Monitor bool
 }
 
-// Snapshotter is implemented by stores that support compaction (the disk
-// store); the runtime snapshots periodically when configured.
-type Snapshotter interface{ Snapshot() error }
+// simExec adapts the simulated cluster to the Executor contract. It models
+// only the scheduling decision (job, node, cost, niceness): leaving the
+// completion's Outputs nil makes the engine run the external binding at
+// completion time, so the discrete-event trace never depends on real
+// execution.
+type simExec struct{ c *cluster.Cluster }
+
+// Nodes implements Executor.
+func (x simExec) Nodes() []cluster.NodeView { return x.c.Nodes() }
+
+// Launch implements Executor.
+func (x simExec) Launch(l Launch) error {
+	return x.c.Start(l.Job, l.Node, l.Cost, l.Nice)
+}
+
+// Kill implements Executor.
+func (x simExec) Kill(id cluster.JobID, node string) error { return x.c.Kill(id, node) }
 
 // NewSimRuntime builds the wired system. The cluster's configuration is
 // recorded in the store's configuration space.
@@ -73,8 +87,13 @@ func NewSimRuntime(cfg SimConfig) (*SimRuntime, error) {
 	opts := cfg.Options
 	opts.Store = st
 	opts.Library = lib
-	opts.Executor = rt.Cluster
+	opts.Executor = simExec{rt.Cluster}
 	opts.Clock = ClockFunc(s.Now)
+	// TIMEOUT timers run on the virtual clock, keeping runs deterministic.
+	opts.After = func(d time.Duration, f func()) func() {
+		t := s.AfterCancel(d, func(sim.Time) { f() })
+		return t.Stop
+	}
 	eng, err := New(opts)
 	if err != nil {
 		return nil, err

@@ -20,22 +20,16 @@ import (
 //
 // The engine is internally synchronized, so the runtime adds no lock of
 // its own: workers deliver completions to HandleCompletion directly and
-// independent instances truly execute in parallel. Do simply hands out the
-// engine; the wrappers exist for convenience and API stability.
+// independent instances truly execute in parallel. The embedded
+// RuntimeBase supplies Do/Wait and the snapshot cadence shared with the
+// remote runtime.
 type LocalRuntime struct {
+	RuntimeBase
+
 	Store store.Store
 
-	engine *Engine
-	exec   *localExec
-	start  time.Time
-
-	// waitMu/cond/gen implement Wait: every interesting transition bumps
-	// gen and broadcasts, and waiters sleep until gen moves. A counter —
-	// instead of re-checking state under a big lock — keeps the wait
-	// path off the engine's locks entirely.
-	waitMu sync.Mutex
-	cond   *sync.Cond
-	gen    uint64
+	exec  *localExec
+	start time.Time
 }
 
 // LocalConfig configures a LocalRuntime.
@@ -57,6 +51,11 @@ type LocalConfig struct {
 	// Shards sets the engine's instance-lock shard count (default
 	// DefaultShards; 1 serializes all instances).
 	Shards int
+	// SnapshotEvery periodically snapshots the store (when the store
+	// supports it), garbage-collecting the write-ahead log under it, so
+	// a long-lived run does not replay an unbounded log on restart.
+	// 0 disables.
+	SnapshotEvery time.Duration
 }
 
 // NewLocalRuntime builds the pool and engine.
@@ -71,7 +70,6 @@ func NewLocalRuntime(cfg LocalConfig) (*LocalRuntime, error) {
 		return nil, fmt.Errorf("core: LocalConfig needs a Library")
 	}
 	rt := &LocalRuntime{Store: cfg.Store, start: time.Now()}
-	rt.cond = sync.NewCond(&rt.waitMu)
 	rt.exec = newLocalExec(rt, cfg.Workers)
 	eng, err := New(Options{
 		Store:    cfg.Store,
@@ -83,91 +81,36 @@ func NewLocalRuntime(cfg LocalConfig) (*LocalRuntime, error) {
 		OnError:  cfg.OnError,
 		Shards:   cfg.Shards,
 		OnInstanceDone: func(*Instance) {
-			rt.bump()
+			rt.Bump()
 		},
 	})
 	if err != nil {
 		return nil, err
 	}
-	rt.engine = eng
+	rt.Bind(eng)
+	rt.StartSnapshots(cfg.Store, cfg.SnapshotEvery)
 	return rt, nil
 }
 
-// bump wakes every Wait caller to re-check its instance.
-func (rt *LocalRuntime) bump() {
-	rt.waitMu.Lock()
-	rt.gen++
-	rt.waitMu.Unlock()
-	rt.cond.Broadcast()
-}
-
-// Do runs f against the engine. The engine is internally synchronized, so
-// f runs directly; concurrent Do calls are fine.
-func (rt *LocalRuntime) Do(f func(e *Engine)) {
-	f(rt.engine)
-}
-
-// RegisterTemplateSource parses and registers OCR templates.
-func (rt *LocalRuntime) RegisterTemplateSource(src string) error {
-	return rt.engine.RegisterTemplateSource(src)
-}
-
-// StartProcess launches an instance.
-func (rt *LocalRuntime) StartProcess(template string, inputs map[string]ocr.Value, opts StartOptions) (string, error) {
-	return rt.engine.StartProcess(template, inputs, opts)
-}
-
-// InstanceStatus returns the current status and outputs of an instance.
-func (rt *LocalRuntime) InstanceStatus(id string) (InstanceStatus, map[string]ocr.Value, error) {
-	return rt.engine.InstanceState(id)
-}
-
-// Wait blocks until the instance reaches Done or Failed, or the timeout
-// elapses. It returns the instance.
-func (rt *LocalRuntime) Wait(id string, timeout time.Duration) (*Instance, error) {
-	deadline := time.Now().Add(timeout)
-	timer := time.AfterFunc(timeout, rt.bump)
-	defer timer.Stop()
-	for {
-		in, ok := rt.engine.Instance(id)
-		if !ok {
-			return nil, fmt.Errorf("%w: %s", ErrUnknownInstance, id)
-		}
-		rt.waitMu.Lock()
-		g := rt.gen
-		rt.waitMu.Unlock()
-		// Check after capturing gen: a transition after this check bumps
-		// gen, so the sleep below cannot miss it.
-		if st := in.statusNow(); st == InstanceDone || st == InstanceFailed {
-			return in, nil
-		}
-		if time.Now().After(deadline) {
-			return in, fmt.Errorf("core: instance %s still %s after %v", id, in.statusNow(), timeout)
-		}
-		rt.waitMu.Lock()
-		for rt.gen == g {
-			rt.cond.Wait()
-		}
-		rt.waitMu.Unlock()
-	}
-}
-
-// Close stops accepting work. Running workers drain.
+// Close stops accepting work and halts the snapshot loop. Running workers
+// drain.
 func (rt *LocalRuntime) Close() {
+	rt.StopSnapshots()
 	ex := rt.exec
 	ex.mu.Lock()
 	ex.closed = true
 	ex.mu.Unlock()
 }
 
-// localExec is the worker pool behind LocalRuntime. One slot per "node".
-// Dispatches carry a sequence token so a stale worker (whose job was
-// killed and possibly re-dispatched) can never free the wrong slot or
-// deliver a stale result. ex.mu guards the pool's own state only; it is a
-// leaf lock — never held across engine calls.
+// localExec is the worker pool behind LocalRuntime. One slot per "node",
+// tracked in a cluster.Directory like the remote server's. Dispatches
+// carry a sequence token so a stale worker (whose job was killed and
+// possibly re-dispatched) can never free the wrong slot or deliver a stale
+// result. ex.mu guards the pool's own state only; it is a leaf lock —
+// never held across engine calls.
 type localExec struct {
-	rt    *LocalRuntime
-	names []string
+	rt  *LocalRuntime
+	dir *cluster.Directory
 
 	mu     sync.Mutex
 	closed bool
@@ -179,79 +122,68 @@ type localExec struct {
 func newLocalExec(rt *LocalRuntime, workers int) *localExec {
 	ex := &localExec{
 		rt:   rt,
+		dir:  cluster.NewDirectory(),
 		busy: make(map[string]uint64, workers),
 		live: make(map[cluster.JobID]uint64),
 	}
 	for i := 0; i < workers; i++ {
-		ex.names = append(ex.names, fmt.Sprintf("local-%02d", i))
+		ex.dir.Join(cluster.NodeView{
+			Name: fmt.Sprintf("local-%02d", i), OS: runtime.GOOS,
+			Up: true, CPUs: 1, Speed: 1,
+		})
 	}
 	return ex
 }
 
 // Nodes implements Executor.
-func (ex *localExec) Nodes() []cluster.NodeView {
-	ex.mu.Lock()
-	defer ex.mu.Unlock()
-	out := make([]cluster.NodeView, 0, len(ex.names))
-	for _, n := range ex.names {
-		running := 0
-		if _, ok := ex.busy[n]; ok {
-			running = 1
-		}
-		out = append(out, cluster.NodeView{
-			Name: n, OS: runtime.GOOS, Up: true, CPUs: 1,
-			Speed: 1, Running: running,
-		})
-	}
-	return out
-}
+func (ex *localExec) Nodes() []cluster.NodeView { return ex.dir.Nodes() }
 
-// Start implements Executor; the engine always uses StartWithRun on this
-// executor, but Start is kept for interface completeness.
-func (ex *localExec) Start(id cluster.JobID, node string, cost time.Duration, nice bool) error {
-	return ex.StartWithRun(id, node, cost, nice, func() (map[string]ocr.Value, error) {
-		return nil, nil
-	})
-}
-
-// StartWithRun implements ProgramRunner: the thunk executes on a fresh
+// Launch implements Executor: the launch's Run thunk executes on a fresh
 // goroutine and the completion is delivered straight to HandleCompletion,
 // which serializes it on the instance's shard.
-func (ex *localExec) StartWithRun(id cluster.JobID, node string, _ time.Duration, _ bool,
-	run func() (map[string]ocr.Value, error)) error {
+func (ex *localExec) Launch(l Launch) error {
 	ex.mu.Lock()
 	if ex.closed {
 		ex.mu.Unlock()
 		return fmt.Errorf("core: local runtime closed")
 	}
-	if _, taken := ex.busy[node]; taken {
+	if _, taken := ex.busy[l.Node]; taken {
 		ex.mu.Unlock()
 		return cluster.ErrNoFreeCPU
 	}
+	if err := ex.dir.Reserve(l.Node); err != nil {
+		ex.mu.Unlock()
+		return err
+	}
 	ex.seq++
 	mySeq := ex.seq
-	ex.busy[node] = mySeq
-	ex.live[id] = mySeq
+	ex.busy[l.Node] = mySeq
+	ex.live[l.Job] = mySeq
 	ex.mu.Unlock()
 	started := time.Since(ex.rt.start)
 	go func() {
 		t0 := time.Now()
-		outputs, err := run()
+		outputs, err := l.Run()
 		cpu := time.Since(t0)
 
 		ex.mu.Lock()
-		if ex.busy[node] == mySeq {
-			delete(ex.busy, node)
+		if ex.busy[l.Node] == mySeq {
+			delete(ex.busy, l.Node)
+			ex.dir.Release(l.Node)
 		}
-		if ex.live[id] != mySeq {
+		if ex.live[l.Job] != mySeq {
 			ex.mu.Unlock()
-			return // killed (or superseded); result discarded
+			// Killed (or superseded): the result is discarded, but the
+			// slot just freed may unblock the queue.
+			ex.rt.Engine().Pump()
+			ex.rt.Bump()
+			return
 		}
-		delete(ex.live, id)
+		delete(ex.live, l.Job)
 		ex.mu.Unlock()
 		c := cluster.Completion{
-			Job:     id,
-			Node:    node,
+			Job:     l.Job,
+			Node:    l.Node,
 			Start:   sim.Time(started),
 			End:     sim.Time(time.Since(ex.rt.start)),
 			CPUTime: cpu,
@@ -264,8 +196,8 @@ func (ex *localExec) StartWithRun(id cluster.JobID, node string, _ time.Duration
 		if c.Outputs == nil && c.ProgramErr == nil {
 			c.Outputs = map[string]ocr.Value{}
 		}
-		ex.rt.engine.HandleCompletion(c)
-		ex.rt.bump()
+		ex.rt.Engine().HandleCompletion(c)
+		ex.rt.Bump()
 	}()
 	return nil
 }
@@ -284,13 +216,13 @@ func (ex *localExec) Kill(id cluster.JobID, node string) error {
 	// the engine defers kills past navigation, so the completion may
 	// even be handled before this goroutine runs — both orders are safe.
 	go func() {
-		ex.rt.engine.HandleCompletion(cluster.Completion{
+		ex.rt.Engine().HandleCompletion(cluster.Completion{
 			Job:  id,
 			Node: node,
 			End:  sim.Time(time.Since(ex.rt.start)),
 			Err:  cluster.ErrJobKilled,
 		})
-		ex.rt.bump()
+		ex.rt.Bump()
 	}()
 	return nil
 }

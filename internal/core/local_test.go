@@ -2,10 +2,13 @@ package core
 
 import (
 	"errors"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"bioopera/internal/ocr"
+	"bioopera/internal/store"
 )
 
 func newLocal(t *testing.T, workers int) *LocalRuntime {
@@ -161,4 +164,103 @@ func TestLocalWaitTimeout(t *testing.T) {
 	if _, err := rt.Wait("ghost", time.Millisecond); !errors.Is(err, ErrUnknownInstance) {
 		t.Fatalf("Wait(ghost) = %v", err)
 	}
+}
+
+func TestLocalTimeoutFailover(t *testing.T) {
+	// The first attempt hangs far past its TIMEOUT; the dispatcher kills
+	// it and the activity fails over to a fresh attempt — without a RETRY
+	// annotation, proving the requeue consumed no retry budget.
+	var calls atomic.Int32
+	release := make(chan struct{})
+	defer close(release)
+	lib := NewLibrary()
+	lib.Register(Program{
+		Name: "test.hang",
+		Run: func(ProgramCtx, map[string]ocr.Value) (map[string]ocr.Value, error) {
+			if calls.Add(1) == 1 {
+				<-release
+			}
+			return map[string]ocr.Value{"out": ocr.Str("ok")}, nil
+		},
+	})
+	var mu sync.Mutex
+	var timeouts []Event
+	rt, err := NewLocalRuntime(LocalConfig{
+		Workers: 2,
+		Library: lib,
+		OnEvent: func(ev Event) {
+			if ev.Kind == EvTaskTimeout {
+				mu.Lock()
+				timeouts = append(timeouts, ev)
+				mu.Unlock()
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	if err := rt.RegisterTemplateSource(`
+PROCESS Hang {
+  OUTPUT r;
+  ACTIVITY H { CALL test.hang(); OUT out; MAP out -> r; TIMEOUT 0.2; }
+}`); err != nil {
+		t.Fatal(err)
+	}
+	id, _ := rt.StartProcess("Hang", nil, StartOptions{})
+	in, err := rt.Wait(id, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Status != InstanceDone || in.Outputs["r"].AsStr() != "ok" {
+		t.Fatalf("instance %s (%s) outputs %v", in.Status, in.FailureReason, in.Outputs)
+	}
+	if in.Retries == 0 {
+		t.Fatal("timeout failover did not requeue through the infra path")
+	}
+	mu.Lock()
+	n := len(timeouts)
+	mu.Unlock()
+	if n == 0 {
+		t.Fatal("no task-timeout event emitted")
+	}
+}
+
+func TestLocalSnapshotEvery(t *testing.T) {
+	lib := testLibrary(t)
+	st := &countingSnapStore{Store: store.NewMem()}
+	rt, err := NewLocalRuntime(LocalConfig{
+		Workers:       1,
+		Library:       lib,
+		Store:         st,
+		SnapshotEvery: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for st.snaps.Load() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d snapshots after 5s", st.snaps.Load())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	rt.Close() // idempotent; stops the loop
+	n := st.snaps.Load()
+	time.Sleep(50 * time.Millisecond)
+	if got := st.snaps.Load(); got > n+1 {
+		t.Fatalf("snapshot loop kept running after Close: %d -> %d", n, got)
+	}
+}
+
+// countingSnapStore gives any store a Snapshot method and counts calls.
+type countingSnapStore struct {
+	store.Store
+	snaps atomic.Int32
+}
+
+func (s *countingSnapStore) Snapshot() error {
+	s.snaps.Add(1)
+	return nil
 }

@@ -96,6 +96,12 @@ func Retry(n int) TaskOption {
 	return func(_ *Builder, t *Task) { t.Retries = n }
 }
 
+// Timeout bounds one attempt's wall-clock run time in seconds; on expiry
+// the dispatcher kills the job and requeues the activity.
+func Timeout(seconds float64) TaskOption {
+	return func(_ *Builder, t *Task) { t.Timeout = seconds }
+}
+
 // Priority sets the scheduling priority.
 func Priority(n int) TaskOption {
 	return func(_ *Builder, t *Task) { t.Priority = n }

@@ -138,3 +138,19 @@ func TestMustBuildPanics(t *testing.T) {
 	}()
 	NewBuilder("Bad").Activity("A", "").MustBuild()
 }
+
+func TestBuilderTimeout(t *testing.T) {
+	p, err := NewBuilder("P").
+		Outputs("r").
+		Activity("A", "x.run", Out("r"), MapTo("r", "r"), Timeout(30)).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Task("A").Timeout != 30 {
+		t.Fatalf("Timeout = %v, want 30", p.Task("A").Timeout)
+	}
+	if !strings.Contains(Format(p), "TIMEOUT 30;") {
+		t.Fatalf("Format missing TIMEOUT:\n%s", Format(p))
+	}
+}

@@ -118,6 +118,11 @@ type Task struct {
 	AltTask  string // valid when OnFail == FailAlternative
 	Priority int
 	Cost     float64 // scheduler hint: expected CPU-seconds, 0 = unknown
+	// Timeout bounds one attempt's wall-clock run time in seconds; when
+	// exceeded the dispatcher kills the job and the activity fails over
+	// like a crashed node (requeued without consuming a retry). 0 means
+	// no limit.
+	Timeout float64
 }
 
 // Connector is a control arc (T_S, T_T, C_Act): when the source task

@@ -18,6 +18,7 @@ const (
 	kwOut         = "OUT"
 	kwMap         = "MAP"
 	kwRetry       = "RETRY"
+	kwTimeout     = "TIMEOUT"
 	kwPriority    = "PRIORITY"
 	kwCost        = "COST"
 	kwDoc         = "DOC"
@@ -290,6 +291,17 @@ func (p *procParser) parseCommonClause(t *Task) (bool, error) {
 			return true, p.errorf("RETRY count must be a non-negative integer")
 		}
 		t.Retries = int(n)
+		return true, p.expectPunct(";")
+	case p.isKw(kwTimeout):
+		p.pos++
+		n, err := p.expectNumber()
+		if err != nil {
+			return true, err
+		}
+		if n <= 0 {
+			return true, p.errorf("TIMEOUT must be a positive number of seconds")
+		}
+		t.Timeout = n
 		return true, p.expectPunct(";")
 	case p.isKw(kwPriority):
 		p.pos++

@@ -459,3 +459,73 @@ func TestCaseInsensitiveKeywords(t *testing.T) {
 		t.Fatal("canonical form should upper-case keywords")
 	}
 }
+
+func TestParseTimeout(t *testing.T) {
+	src := `
+PROCESS P {
+  ACTIVITY A {
+    CALL x.run();
+    OUT r;
+    MAP r -> r;
+    TIMEOUT 2.5;
+    RETRY 1;
+  }
+  OUTPUT r;
+}
+`
+	p, err := ParseProcess(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := p.Task("A")
+	if a.Timeout != 2.5 {
+		t.Fatalf("Timeout = %v, want 2.5", a.Timeout)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	out := Format(p)
+	if !strings.Contains(out, "TIMEOUT 2.5;") {
+		t.Fatalf("Format lost TIMEOUT:\n%s", out)
+	}
+	p2, err := ParseProcess(out)
+	if err != nil || Format(p2) != out {
+		t.Fatalf("round trip: %v", err)
+	}
+
+	bad := map[string]string{
+		"zero":     `PROCESS P { ACTIVITY A { CALL x.y(); TIMEOUT 0; } }`,
+		"negative": `PROCESS P { ACTIVITY A { CALL x.y(); TIMEOUT -3; } }`,
+		"no value": `PROCESS P { ACTIVITY A { CALL x.y(); TIMEOUT; } }`,
+	}
+	for name, src := range bad {
+		if _, err := ParseFile(src); err == nil {
+			t.Errorf("%s: parse succeeded, want error", name)
+		}
+	}
+
+	// TIMEOUT is reserved and cannot name a task.
+	res, err := ParseProcess(`PROCESS P { ACTIVITY Timeout { CALL x.y(); } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Validate(); err == nil {
+		t.Fatal("Validate accepted task named Timeout")
+	}
+
+	// Negative timeouts set programmatically are caught by Validate.
+	neg := &Process{Name: "P", Tasks: []*Task{{
+		Name: "A", Kind: KindActivity, Program: "x.y", Timeout: -1,
+	}}}
+	if err := neg.Validate(); err == nil {
+		t.Fatal("Validate accepted negative timeout")
+	}
+
+	// A SUBPROCESS with only a TIMEOUT must keep its long form.
+	sub := &Process{Name: "P", Tasks: []*Task{{
+		Name: "S", Kind: KindSubprocess, Uses: "Other", Timeout: 5,
+	}}}
+	if !strings.Contains(Format(sub), "TIMEOUT 5;") {
+		t.Fatalf("SUBPROCESS short form dropped TIMEOUT:\n%s", Format(sub))
+	}
+}

@@ -93,6 +93,10 @@ func formatCommon(sb *strings.Builder, t *Task, depth int) {
 		indent(sb, depth)
 		fmt.Fprintf(sb, "COST %s;\n", Num(t.Cost).String())
 	}
+	if t.Timeout != 0 {
+		indent(sb, depth)
+		fmt.Fprintf(sb, "TIMEOUT %s;\n", Num(t.Timeout).String())
+	}
 	switch t.OnFail {
 	case FailIgnore:
 		indent(sb, depth)
@@ -155,7 +159,7 @@ func formatTask(sb *strings.Builder, t *Task, depth int) {
 		fmt.Fprintf(sb, "SUBPROCESS %s USES %s", t.Name, strconv.Quote(t.Uses))
 		if len(t.Args) == 0 && len(t.Outs) == 0 && len(t.Maps) == 0 &&
 			t.Retries == 0 && t.Priority == 0 && t.Cost == 0 &&
-			t.OnFail == FailAbort && t.Doc == "" {
+			t.Timeout == 0 && t.OnFail == FailAbort && t.Doc == "" {
 			sb.WriteString(";\n")
 			return
 		}

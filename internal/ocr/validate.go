@@ -13,7 +13,7 @@ var reservedWords = map[string]bool{}
 func init() {
 	for _, kw := range []string{
 		kwProcess, kwInput, kwOutput, kwData, kwActivity, kwBlock,
-		kwSubprocess, kwCall, kwOut, kwMap, kwRetry, kwPriority,
+		kwSubprocess, kwCall, kwOut, kwMap, kwRetry, kwTimeout, kwPriority,
 		kwCost, kwDoc, kwOn, kwFailure, kwAbort, kwIgnore,
 		kwAlternative, kwParallel, kwOver, kwAs, kwUses, kwIf, kwIn,
 		kwAtomic, kwUndo, kwAwait,
@@ -280,6 +280,9 @@ func (v *validator) process(p *Process, parentNames map[string]bool, path string
 		}
 		if t.Retries < 0 {
 			v.errorf("%s: negative retry count", tw)
+		}
+		if t.Timeout < 0 {
+			v.errorf("%s: negative timeout", tw)
 		}
 	}
 

@@ -1,0 +1,245 @@
+package remote
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"time"
+
+	"bioopera/internal/core"
+)
+
+// AgentConfig configures a worker agent.
+type AgentConfig struct {
+	// Name identifies the worker to the server; node names are namespaced
+	// under it. Required.
+	Name string
+	// CPUs is the number of single-slot nodes offered (default 1).
+	CPUs int
+	// OS defaults to runtime.GOOS.
+	OS string
+	// Speed is the relative node speed reported to the scheduler
+	// (default 1).
+	Speed float64
+	// Library resolves program names from launch messages. Required.
+	Library *core.Library
+	// Logf receives diagnostics. May be nil.
+	Logf func(format string, args ...any)
+}
+
+// Agent is the worker side of the remote protocol: the program execution
+// client that registers its CPUs with the server, runs launched activities
+// against its local program library, and streams heartbeats.
+type Agent struct {
+	cfg  AgentConfig
+	conn net.Conn
+	inc  uint64
+	wg   sync.WaitGroup
+
+	wmu sync.Mutex
+	enc *json.Encoder
+
+	mu     sync.Mutex
+	closed bool
+	paused bool            // heartbeats suppressed (test hook)
+	killed map[string]bool // job+"#"+lease → discard the result
+
+	done chan struct{}
+}
+
+// Dial connects to a server, performs the hello/welcome handshake, and
+// starts the heartbeat and message loops.
+func Dial(addr string, cfg AgentConfig) (*Agent, error) {
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("remote: AgentConfig needs a Name")
+	}
+	if cfg.Library == nil {
+		return nil, fmt.Errorf("remote: AgentConfig needs a Library")
+	}
+	if cfg.CPUs <= 0 {
+		cfg.CPUs = 1
+	}
+	if cfg.OS == "" {
+		cfg.OS = runtime.GOOS
+	}
+	if cfg.Speed <= 0 {
+		cfg.Speed = 1
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("remote: dial %s: %w", addr, err)
+	}
+	a := &Agent{
+		cfg:    cfg,
+		conn:   conn,
+		enc:    json.NewEncoder(conn),
+		killed: make(map[string]bool),
+		done:   make(chan struct{}),
+	}
+	nodes := make([]NodeInfo, cfg.CPUs)
+	for i := range nodes {
+		nodes[i] = NodeInfo{Name: fmt.Sprintf("cpu%d", i), OS: cfg.OS, CPUs: 1, Speed: cfg.Speed}
+	}
+	if err := a.send(Message{Type: MsgHello, Worker: cfg.Name, Nodes: nodes}); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("remote: hello: %w", err)
+	}
+	dec := json.NewDecoder(conn)
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	var welcome Message
+	if err := dec.Decode(&welcome); err != nil || welcome.Type != MsgWelcome {
+		conn.Close()
+		return nil, fmt.Errorf("remote: handshake failed: %v", err)
+	}
+	conn.SetReadDeadline(time.Time{})
+	a.inc = welcome.Incarnation
+	every := time.Duration(welcome.HeartbeatMs) * time.Millisecond
+	if every <= 0 {
+		every = DefaultHeartbeatEvery
+	}
+	a.wg.Add(2)
+	go a.heartbeatLoop(every)
+	go a.readLoop(dec)
+	a.logf("remote: %s connected (incarnation %d, %d cpus)", cfg.Name, a.inc, cfg.CPUs)
+	return a, nil
+}
+
+// Incarnation returns the tag the server assigned to this connection.
+func (a *Agent) Incarnation() uint64 { return a.inc }
+
+// PauseHeartbeats stops the heartbeat stream without closing the
+// connection — a frozen or partitioned worker, from the server's point of
+// view. Launched jobs keep running and their completions still send, which
+// is exactly the stale-completion case the lease check exists for.
+func (a *Agent) PauseHeartbeats() {
+	a.mu.Lock()
+	a.paused = true
+	a.mu.Unlock()
+}
+
+// ResumeHeartbeats undoes PauseHeartbeats.
+func (a *Agent) ResumeHeartbeats() {
+	a.mu.Lock()
+	a.paused = false
+	a.mu.Unlock()
+}
+
+// Wait blocks until the connection to the server is gone.
+func (a *Agent) Wait() { <-a.done }
+
+// Close tears the connection down.
+func (a *Agent) Close() {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return
+	}
+	a.closed = true
+	a.mu.Unlock()
+	a.conn.Close()
+	a.wg.Wait()
+}
+
+func (a *Agent) logf(format string, args ...any) {
+	if a.cfg.Logf != nil {
+		a.cfg.Logf(format, args...)
+	}
+}
+
+func (a *Agent) send(m Message) error {
+	a.wmu.Lock()
+	defer a.wmu.Unlock()
+	return a.enc.Encode(m)
+}
+
+func (a *Agent) heartbeatLoop(every time.Duration) {
+	defer a.wg.Done()
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-a.done:
+			return
+		case <-t.C:
+			a.mu.Lock()
+			paused := a.paused
+			a.mu.Unlock()
+			if paused {
+				continue
+			}
+			if err := a.send(Message{Type: MsgHeartbeat}); err != nil {
+				return
+			}
+		}
+	}
+}
+
+func (a *Agent) readLoop(dec *json.Decoder) {
+	defer a.wg.Done()
+	defer close(a.done)
+	for {
+		var m Message
+		if err := dec.Decode(&m); err != nil {
+			a.logf("remote: %s disconnected: %v", a.cfg.Name, err)
+			return
+		}
+		switch m.Type {
+		case MsgLaunch:
+			a.wg.Add(1)
+			go func() {
+				defer a.wg.Done()
+				a.runJob(m)
+			}()
+		case MsgKill:
+			// Keyed by job AND lease: the same job ID relaunches under a
+			// fresh lease after a timeout kill, and that run must survive.
+			a.mu.Lock()
+			a.killed[m.Job+"#"+fmt.Sprint(m.Lease)] = true
+			a.mu.Unlock()
+		default:
+			a.logf("remote: %s got unexpected %q", a.cfg.Name, m.Type)
+		}
+	}
+}
+
+// runJob executes one launched activity against the local library and
+// reports the lease-tagged result.
+func (a *Agent) runJob(m Message) {
+	reply := Message{
+		Type:        MsgCompletion,
+		Job:         m.Job,
+		Node:        m.Node,
+		Lease:       m.Lease,
+		Incarnation: a.inc,
+	}
+	prog, ok := a.cfg.Library.Lookup(m.Program)
+	if !ok {
+		reply.Error = fmt.Sprintf("worker %s: unknown program %q", a.cfg.Name, m.Program)
+		a.send(reply)
+		return
+	}
+	t0 := time.Now()
+	outputs, err := prog.Run(core.ProgramCtx{
+		Instance: m.Instance,
+		Task:     m.Task,
+		Attempt:  m.Attempt,
+		Node:     m.Node,
+	}, m.Inputs)
+	reply.CPUNanos = int64(time.Since(t0))
+
+	a.mu.Lock()
+	discard := a.killed[m.Job+"#"+fmt.Sprint(m.Lease)]
+	delete(a.killed, m.Job+"#"+fmt.Sprint(m.Lease))
+	a.mu.Unlock()
+	if discard {
+		return
+	}
+	if err != nil {
+		reply.Error = err.Error()
+	} else {
+		reply.Outputs = outputs
+	}
+	a.send(reply)
+}

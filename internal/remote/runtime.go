@@ -1,0 +1,128 @@
+package remote
+
+import (
+	"fmt"
+	"time"
+
+	"bioopera/internal/cluster"
+	"bioopera/internal/core"
+	"bioopera/internal/sched"
+	"bioopera/internal/sim"
+	"bioopera/internal/store"
+)
+
+// Config configures a remote Runtime.
+type Config struct {
+	// Addr is the TCP listen address for worker agents (e.g. ":7070";
+	// "127.0.0.1:0" picks a free port).
+	Addr string
+	// Store defaults to an in-memory store.
+	Store store.Store
+	// Library is required on the server too: recovery and completion-time
+	// evaluation still resolve program names locally.
+	Library *core.Library
+	// Policy defaults to LeastLoaded.
+	Policy sched.Policy
+	// Shards sets the engine's instance-lock shard count.
+	Shards int
+	// OnEvent observes engine events plus the runtime's node-joined /
+	// node-down events from the failure detector.
+	OnEvent func(core.Event)
+	// OnError observes persistence failures.
+	OnError func(error)
+	// SnapshotEvery periodically compacts the store (0 disables).
+	SnapshotEvery time.Duration
+	// HeartbeatEvery / HeartbeatTimeout tune the failure detector; see
+	// ServerConfig.
+	HeartbeatEvery   time.Duration
+	HeartbeatTimeout time.Duration
+	// Logf receives protocol diagnostics. May be nil.
+	Logf func(format string, args ...any)
+}
+
+// Runtime drives the engine against remote workers: the BioOpera server
+// process. It is the fourth Executor-backed runtime — same engine, same
+// recovery, with activities running on machines that register over TCP.
+type Runtime struct {
+	core.RuntimeBase
+
+	Store  store.Store
+	Server *Server
+
+	start time.Time
+}
+
+// NewRuntime listens for workers and builds the engine on top of the
+// server's Executor. Workers may connect before or after; the dispatcher
+// queues activities until capacity registers.
+func NewRuntime(cfg Config) (*Runtime, error) {
+	if cfg.Store == nil {
+		cfg.Store = store.NewMem()
+	}
+	if cfg.Library == nil {
+		return nil, fmt.Errorf("remote: Config needs a Library")
+	}
+	rt := &Runtime{Store: cfg.Store, start: time.Now()}
+	now := func() sim.Time { return sim.Time(time.Since(rt.start)) }
+	srv, err := Listen(cfg.Addr, ServerConfig{
+		HeartbeatEvery:   cfg.HeartbeatEvery,
+		HeartbeatTimeout: cfg.HeartbeatTimeout,
+		Logf:             cfg.Logf,
+		OnNodeEvent: func(worker string, up bool, detail string) {
+			// The configuration space (§3.2) tracks the worker fleet.
+			kind := core.EvNodeJoined
+			if !up {
+				kind = core.EvNodeDown
+			}
+			rec := []byte(fmt.Sprintf("worker %s up=%v %s", worker, up, detail))
+			cfg.Store.Put(store.Configuration, "worker/"+worker, rec)
+			if cfg.OnEvent != nil {
+				cfg.OnEvent(core.Event{At: now(), Kind: kind, Node: worker, Detail: detail})
+			}
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	rt.Server = srv
+	eng, err := core.New(core.Options{
+		Store:    cfg.Store,
+		Library:  cfg.Library,
+		Executor: srv,
+		Clock:    core.ClockFunc(now),
+		Policy:   cfg.Policy,
+		Shards:   cfg.Shards,
+		OnEvent:  cfg.OnEvent,
+		OnError:  cfg.OnError,
+		OnInstanceDone: func(*core.Instance) {
+			rt.Bump()
+		},
+	})
+	if err != nil {
+		srv.Close()
+		return nil, err
+	}
+	rt.Bind(eng)
+	srv.SetHandlers(
+		func(c cluster.Completion) {
+			eng.HandleCompletion(c)
+			rt.Bump()
+		},
+		func() {
+			eng.Pump()
+			rt.Bump()
+		},
+	)
+	rt.StartSnapshots(cfg.Store, cfg.SnapshotEvery)
+	return rt, nil
+}
+
+// Addr returns the bound listen address (handy with ":0").
+func (rt *Runtime) Addr() string { return rt.Server.Addr() }
+
+// Close halts the snapshot loop and tears down the server and every worker
+// connection.
+func (rt *Runtime) Close() {
+	rt.StopSnapshots()
+	rt.Server.Close()
+}

@@ -1,0 +1,499 @@
+package remote
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"bioopera/internal/cluster"
+	"bioopera/internal/core"
+	"bioopera/internal/ocr"
+	"bioopera/internal/sim"
+)
+
+// Defaults for the failure detector.
+const (
+	DefaultHeartbeatEvery   = time.Second
+	DefaultHeartbeatTimeout = 3 * time.Second
+)
+
+// ServerConfig tunes the worker server.
+type ServerConfig struct {
+	// HeartbeatEvery is the cadence advertised to workers (default 1s).
+	HeartbeatEvery time.Duration
+	// HeartbeatTimeout is how long a worker may stay silent before it is
+	// declared dead (default 3 × HeartbeatEvery).
+	HeartbeatTimeout time.Duration
+	// OnNodeEvent observes workers joining and being declared dead, for
+	// the awareness journal. May be nil.
+	OnNodeEvent func(worker string, up bool, detail string)
+	// Logf receives protocol-level diagnostics. May be nil.
+	Logf func(format string, args ...any)
+}
+
+// lease records one launched job: who runs it and under which lease and
+// worker incarnation. A completion must match all of it to count.
+type lease struct {
+	id      uint64
+	job     string
+	node    string
+	worker  string
+	inc     uint64
+	started time.Duration // since server start, for the completion record
+}
+
+// workerConn is one connected worker agent.
+type workerConn struct {
+	name  string
+	inc   uint64
+	conn  net.Conn
+	nodes []string // server-side node names owned by this worker
+
+	wmu sync.Mutex // serializes writes
+	enc *json.Encoder
+
+	// Guarded by Server.mu.
+	lastBeat time.Time
+	dead     bool
+}
+
+func (w *workerConn) send(m Message) error {
+	w.wmu.Lock()
+	defer w.wmu.Unlock()
+	return w.enc.Encode(m)
+}
+
+// Server accepts worker agents and implements core.Executor over them: the
+// dispatcher's launches travel to whichever worker owns the chosen node,
+// and worker completions flow back into the engine. It is the remote
+// counterpart of the local goroutine pool.
+type Server struct {
+	cfg   ServerConfig
+	ln    net.Listener
+	dir   *cluster.Directory
+	start time.Time
+	wg    sync.WaitGroup
+
+	mu           sync.Mutex
+	closed       bool
+	onCompletion func(cluster.Completion)
+	onChange     func()
+	workers      map[string]*workerConn
+	nodeOwner    map[string]string // server-side node name → worker name
+	running      map[string]*lease // job ID → current lease
+	nextLease    uint64
+	nextInc      uint64
+	declaredDead int
+	droppedStale int
+}
+
+// Listen starts a server on addr (e.g. ":7070", or "127.0.0.1:0" to pick a
+// free port). Call SetHandlers before workers are expected to do work.
+func Listen(addr string, cfg ServerConfig) (*Server, error) {
+	if cfg.HeartbeatEvery <= 0 {
+		cfg.HeartbeatEvery = DefaultHeartbeatEvery
+	}
+	if cfg.HeartbeatTimeout <= 0 {
+		cfg.HeartbeatTimeout = 3 * cfg.HeartbeatEvery
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("remote: listen %s: %w", addr, err)
+	}
+	s := &Server{
+		cfg:       cfg,
+		ln:        ln,
+		start:     time.Now(),
+		dir:       cluster.NewDirectory(),
+		workers:   make(map[string]*workerConn),
+		nodeOwner: make(map[string]string),
+		running:   make(map[string]*lease),
+	}
+	s.wg.Add(2)
+	go s.acceptLoop()
+	go s.reaper()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// SetHandlers wires the completion and capacity-change callbacks (the
+// engine's HandleCompletion and Pump). Must be called before work runs.
+func (s *Server) SetHandlers(onCompletion func(cluster.Completion), onChange func()) {
+	s.mu.Lock()
+	s.onCompletion = onCompletion
+	s.onChange = onChange
+	s.mu.Unlock()
+}
+
+// Stats reports failure-detector counters: live workers, workers declared
+// dead so far, and stale completions dropped by the lease check.
+func (s *Server) Stats() (workers, declaredDead, droppedStale int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, w := range s.workers {
+		if !w.dead {
+			workers++
+		}
+	}
+	return workers, s.declaredDead, s.droppedStale
+}
+
+// Close stops accepting workers and tears down every connection.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.workers))
+	for _, w := range s.workers {
+		conns = append(conns, w.conn)
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// Nodes implements core.Executor.
+func (s *Server) Nodes() []cluster.NodeView { return s.dir.Nodes() }
+
+// Launch implements core.Executor: the job is leased to the worker owning
+// the chosen node and shipped over the wire with its resolved binding.
+func (s *Server) Launch(l core.Launch) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return fmt.Errorf("remote: server closed")
+	}
+	w := s.workers[s.nodeOwner[l.Node]]
+	if w == nil || w.dead {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %s", cluster.ErrNodeDown, l.Node)
+	}
+	if err := s.dir.Reserve(l.Node); err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	s.nextLease++
+	lz := &lease{
+		id: s.nextLease, job: string(l.Job), node: l.Node,
+		worker: w.name, inc: w.inc, started: time.Since(s.start),
+	}
+	// Record the lease before sending: the completion can race back
+	// before send even returns.
+	s.running[lz.job] = lz
+	s.mu.Unlock()
+
+	err := w.send(Message{
+		Type:        MsgLaunch,
+		Job:         lz.job,
+		Node:        l.Node,
+		Lease:       lz.id,
+		Incarnation: lz.inc,
+		Program:     l.Program,
+		Inputs:      l.Inputs,
+		Instance:    l.Ctx.Instance,
+		Task:        l.Ctx.Task,
+		Attempt:     l.Ctx.Attempt,
+		Nice:        l.Nice,
+		CostMs:      l.Cost.Milliseconds(),
+		TimeoutMs:   l.Timeout.Milliseconds(),
+	})
+	if err != nil {
+		// Undo; the reader loop will notice the broken connection and
+		// declare the worker dead.
+		s.mu.Lock()
+		if s.running[lz.job] == lz {
+			delete(s.running, lz.job)
+			s.dir.Release(lz.node)
+		}
+		s.mu.Unlock()
+		return fmt.Errorf("remote: launch on %s: %w", l.Node, err)
+	}
+	return nil
+}
+
+// Kill implements core.Executor. Like the local pool, the server drops the
+// lease and reports the job killed immediately; the worker gets a
+// best-effort kill message so it discards the eventual result.
+func (s *Server) Kill(id cluster.JobID, node string) error {
+	s.mu.Lock()
+	lz := s.running[string(id)]
+	if lz == nil {
+		s.mu.Unlock()
+		return fmt.Errorf("remote: job %s not running", id)
+	}
+	delete(s.running, lz.job)
+	s.dir.Release(lz.node)
+	w := s.workers[lz.worker]
+	deliver := s.onCompletion
+	s.mu.Unlock()
+	if w != nil {
+		w.send(Message{Type: MsgKill, Job: lz.job, Lease: lz.id})
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		if deliver != nil {
+			deliver(cluster.Completion{Job: id, Node: lz.node, Err: cluster.ErrJobKilled})
+		}
+	}()
+	return nil
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handleConn(conn)
+		}()
+	}
+}
+
+// reaper declares workers dead when their heartbeats go silent past the
+// timeout.
+func (s *Server) reaper() {
+	defer s.wg.Done()
+	period := s.cfg.HeartbeatTimeout / 4
+	if period < time.Millisecond {
+		period = time.Millisecond
+	}
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for range t.C {
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			return
+		}
+		var gone []*workerConn
+		now := time.Now()
+		for _, w := range s.workers {
+			if !w.dead && now.Sub(w.lastBeat) > s.cfg.HeartbeatTimeout {
+				gone = append(gone, w)
+			}
+		}
+		s.mu.Unlock()
+		for _, w := range gone {
+			s.declareDead(w, "heartbeat timeout")
+		}
+	}
+}
+
+// handleConn runs one worker connection: hello/welcome handshake, then the
+// inbound message loop.
+func (s *Server) handleConn(conn net.Conn) {
+	dec := json.NewDecoder(conn)
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	var hello Message
+	if err := dec.Decode(&hello); err != nil || hello.Type != MsgHello ||
+		hello.Worker == "" || len(hello.Nodes) == 0 {
+		s.logf("remote: bad handshake from %s", conn.RemoteAddr())
+		conn.Close()
+		return
+	}
+	conn.SetReadDeadline(time.Time{})
+
+	w := &workerConn{
+		name:     hello.Worker,
+		conn:     conn,
+		enc:      json.NewEncoder(conn),
+		lastBeat: time.Now(),
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		conn.Close()
+		return
+	}
+	if old := s.workers[w.name]; old != nil && !old.dead {
+		// The name rejoined while its previous connection still looked
+		// alive: the new connection wins, the old incarnation is dead.
+		s.mu.Unlock()
+		s.declareDead(old, "replaced by new connection")
+		s.mu.Lock()
+	}
+	s.nextInc++
+	w.inc = s.nextInc
+	// Nodes previously owned by this worker but absent from the new offer
+	// are forgotten (a rejoin may offer fewer CPUs).
+	offered := make(map[string]bool, len(hello.Nodes))
+	for _, n := range hello.Nodes {
+		offered[w.name+"/"+n.Name] = true
+	}
+	if old := s.workers[w.name]; old != nil {
+		for _, n := range old.nodes {
+			if !offered[n] {
+				s.dir.Leave(n)
+				delete(s.nodeOwner, n)
+			}
+		}
+	}
+	for _, n := range hello.Nodes {
+		full := w.name + "/" + n.Name
+		cpus := n.CPUs
+		if cpus <= 0 {
+			cpus = 1
+		}
+		speed := n.Speed
+		if speed <= 0 {
+			speed = 1
+		}
+		s.dir.Join(cluster.NodeView{Name: full, OS: n.OS, Up: true, CPUs: cpus, Speed: speed})
+		s.nodeOwner[full] = w.name
+		w.nodes = append(w.nodes, full)
+	}
+	s.workers[w.name] = w
+	onChange := s.onChange
+	s.mu.Unlock()
+
+	if err := w.send(Message{
+		Type:        MsgWelcome,
+		Incarnation: w.inc,
+		HeartbeatMs: s.cfg.HeartbeatEvery.Milliseconds(),
+	}); err != nil {
+		conn.Close()
+		return
+	}
+	s.logf("remote: worker %s joined (incarnation %d, %d nodes)", w.name, w.inc, len(w.nodes))
+	if s.cfg.OnNodeEvent != nil {
+		s.cfg.OnNodeEvent(w.name, true, fmt.Sprintf("incarnation %d", w.inc))
+	}
+	if onChange != nil {
+		onChange() // new capacity: let the dispatcher drain
+	}
+
+	for {
+		var m Message
+		if err := dec.Decode(&m); err != nil {
+			break
+		}
+		s.mu.Lock()
+		current := s.workers[w.name] == w && !w.dead
+		if current {
+			w.lastBeat = time.Now()
+		}
+		s.mu.Unlock()
+		switch m.Type {
+		case MsgHeartbeat:
+			// lastBeat already refreshed above.
+		case MsgCompletion:
+			s.handleCompletion(w, m)
+		default:
+			s.logf("remote: worker %s sent unexpected %q", w.name, m.Type)
+		}
+	}
+	// Connection gone. If this worker was still considered alive, its
+	// death is now certain — no need to wait out the heartbeat timeout.
+	s.declareDead(w, "connection lost")
+}
+
+// declareDead marks a worker dead, takes its nodes down, and fails its
+// running jobs with ErrNodeFailed so the engine requeues them elsewhere —
+// the paper's node-failure handling (§3.3), at worker granularity. The
+// connection is left open on purpose: a worker that was only partitioned
+// may still deliver completions, which the lease check then drops.
+func (s *Server) declareDead(w *workerConn, reason string) {
+	s.mu.Lock()
+	if w.dead || s.workers[w.name] != w {
+		s.mu.Unlock()
+		return
+	}
+	w.dead = true
+	s.declaredDead++
+	for _, n := range w.nodes {
+		s.dir.SetUp(n, false)
+	}
+	var lost []*lease
+	for job, lz := range s.running {
+		if lz.worker == w.name && lz.inc == w.inc {
+			lost = append(lost, lz)
+			delete(s.running, job)
+		}
+	}
+	deliver := s.onCompletion
+	onChange := s.onChange
+	s.mu.Unlock()
+
+	s.logf("remote: worker %s declared dead (%s), %d jobs requeued", w.name, reason, len(lost))
+	if s.cfg.OnNodeEvent != nil {
+		s.cfg.OnNodeEvent(w.name, false, reason)
+	}
+	for _, lz := range lost {
+		if deliver != nil {
+			deliver(cluster.Completion{
+				Job:  cluster.JobID(lz.job),
+				Node: lz.node,
+				Err:  fmt.Errorf("%w: worker %s %s", cluster.ErrNodeFailed, w.name, reason),
+			})
+		}
+	}
+	if onChange != nil {
+		onChange()
+	}
+}
+
+// handleCompletion validates a worker's result against the current lease
+// and delivers it to the engine. Anything stale — unknown job, reused job
+// ID under a newer lease, dead worker, pre-crash incarnation — is dropped.
+func (s *Server) handleCompletion(w *workerConn, m Message) {
+	s.mu.Lock()
+	lz := s.running[m.Job]
+	valid := lz != nil && lz.id == m.Lease && lz.worker == w.name &&
+		lz.inc == m.Incarnation && lz.inc == w.inc &&
+		!w.dead && s.workers[w.name] == w
+	if !valid {
+		s.droppedStale++
+		s.mu.Unlock()
+		s.logf("remote: dropped stale completion for job %s from %s (lease %d)", m.Job, w.name, m.Lease)
+		return
+	}
+	delete(s.running, m.Job)
+	s.dir.Release(lz.node)
+	deliver := s.onCompletion
+	s.mu.Unlock()
+
+	c := cluster.Completion{
+		Job:     cluster.JobID(m.Job),
+		Node:    lz.node,
+		Start:   sim.Time(lz.started),
+		End:     sim.Time(time.Since(s.start)),
+		CPUTime: time.Duration(m.CPUNanos),
+		Outputs: m.Outputs,
+	}
+	if m.Error != "" {
+		c.ProgramErr = errors.New(m.Error)
+		c.Outputs = nil
+	}
+	if c.Outputs == nil && c.ProgramErr == nil {
+		// The worker ran the program; an empty (non-nil) output map keeps
+		// the engine from running it again at completion time.
+		c.Outputs = map[string]ocr.Value{}
+	}
+	if deliver != nil {
+		deliver(c)
+	}
+}

@@ -1,0 +1,65 @@
+// Command biooperalint runs the project's invariant analyzers (see
+// internal/lint) over every package in the module:
+//
+//	go run ./cmd/biooperalint ./...
+//
+// Package patterns are accepted for familiarity but the tool always
+// checks the whole module — the invariants are global, and partial runs
+// would let a stale //bioopera:allow in an unchecked package survive.
+// Exit status is 1 if any diagnostic remains after suppression.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"bioopera/internal/lint"
+)
+
+func main() {
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "biooperalint:", err)
+		os.Exit(2)
+	}
+	ld, err := lint.NewLoader(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "biooperalint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := ld.LoadModule()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "biooperalint:", err)
+		os.Exit(2)
+	}
+	diags := lint.Run(pkgs)
+	for _, d := range diags {
+		if rel, err := filepath.Rel(root, d.Pos.Filename); err == nil {
+			d.Pos.Filename = rel
+		}
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "biooperalint: %d issue(s) in %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}
+
+// moduleRoot walks up from the working directory to the enclosing go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,116 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"bioopera/internal/sim"
+)
+
+// testMonitorConfig keeps the adaptation bounds tight so tests converge
+// within simulated minutes.
+func testMonitorConfig() MonitorConfig {
+	return MonitorConfig{
+		BaseInterval: 10 * time.Second,
+		MinInterval:  5 * time.Second,
+		MaxInterval:  80 * time.Second,
+		SampleCutoff: 0.05,
+		ReportCutoff: 0.10,
+		Grow:         2,
+		Shrink:       0.5,
+	}
+}
+
+func TestMonitorIntervalAdapts(t *testing.T) {
+	s := sim.New(1)
+	stable := NewAdaptiveMonitor(s, testMonitorConfig(), func() float64 { return 0.5 }, nil)
+	var load float64
+	noisy := NewAdaptiveMonitor(s, testMonitorConfig(), func() float64 { load += 0.2; return load }, nil)
+	s.RunUntil(sim.Time(10 * time.Minute))
+	stable.Stop()
+	noisy.Stop()
+
+	// The stable source drives the interval to MaxInterval, the changing
+	// one to MinInterval, so the noisy monitor samples far more often.
+	if noisy.Samples < 3*stable.Samples {
+		t.Errorf("noisy=%d samples vs stable=%d: interval did not adapt", noisy.Samples, stable.Samples)
+	}
+	// A constant load is reported exactly once.
+	if stable.Reports != 1 {
+		t.Errorf("stable monitor sent %d reports, want 1", stable.Reports)
+	}
+	// A load moving 0.2 per sample beats ReportCutoff every time.
+	if noisy.Reports != noisy.Samples {
+		t.Errorf("noisy monitor sent %d reports for %d samples, want every sample reported", noisy.Reports, noisy.Samples)
+	}
+}
+
+func TestMonitorReportCutoffSuppressesJitter(t *testing.T) {
+	// The two cutoffs are independent (§3.4): a load oscillating ±0.03
+	// around 0.5 beats SampleCutoff — so the interval stays near
+	// MinInterval and the sampler stays busy — yet never moves ≥
+	// ReportCutoff from the last reported value, so the server hears
+	// nothing after the first report.
+	s := sim.New(1)
+	var flip bool
+	source := func() float64 {
+		flip = !flip
+		if flip {
+			return 0.53
+		}
+		return 0.47
+	}
+	var reports []float64
+	m := NewAdaptiveMonitor(s, testMonitorConfig(), source, func(_ sim.Time, load float64) {
+		reports = append(reports, load)
+	})
+	s.RunUntil(sim.Time(30 * time.Minute))
+	m.Stop()
+
+	if m.Reports != 1 || len(reports) != 1 {
+		t.Fatalf("got %d reports (%v), want only the initial one", m.Reports, reports)
+	}
+	if m.Samples < 20 {
+		t.Fatalf("only %d samples: the oscillation should hold the interval near MinInterval", m.Samples)
+	}
+	if f := m.DiscardFraction(); f < 0.9 {
+		t.Errorf("discard fraction = %.2f, want ≥ 0.9", f)
+	}
+}
+
+func TestMonitorStop(t *testing.T) {
+	s := sim.New(1)
+	cfg := testMonitorConfig()
+	cfg.MaxInterval = 10 * time.Second
+	m := NewAdaptiveMonitor(s, cfg, func() float64 { return 0 }, nil)
+	s.RunUntil(sim.Time(time.Minute))
+	if m.Samples == 0 {
+		t.Fatal("monitor never sampled")
+	}
+	n := m.Samples
+	m.Stop()
+	s.RunUntil(sim.Time(10 * time.Minute))
+	if m.Samples != n {
+		t.Errorf("samples grew from %d to %d after Stop", n, m.Samples)
+	}
+}
+
+func TestLoadTraceMeanAbsError(t *testing.T) {
+	var tr LoadTrace
+	tr.Add(0, 0.5)
+	horizon := sim.Time(time.Minute)
+	if e := tr.MeanAbsError(func(sim.Time) float64 { return 0.5 }, horizon, time.Second); e != 0 {
+		t.Errorf("error against matching truth = %v, want 0", e)
+	}
+	e := tr.MeanAbsError(func(sim.Time) float64 { return 0.7 }, horizon, time.Second)
+	if math.Abs(e-0.2) > 1e-9 {
+		t.Errorf("error against offset truth = %v, want 0.2", e)
+	}
+	if e := tr.MeanAbsError(func(sim.Time) float64 { return 1 }, 0, time.Second); e != 0 {
+		t.Errorf("zero horizon error = %v, want 0", e)
+	}
+	if e := tr.MeanAbsError(func(sim.Time) float64 { return 1 }, horizon, 0); e != 0 {
+		t.Errorf("zero step error = %v, want 0", e)
+	}
+}

@@ -238,10 +238,13 @@ func (e *Engine) WhatIf(nodes []string) OutageImpact {
 		check(s, "queued-affine")
 	}
 
-	impact.Progress = make(map[string]float64, len(affected))
-	impact.Priority = make(map[string]int, len(affected))
 	for id := range affected {
 		impact.Instances = append(impact.Instances, id)
+	}
+	sort.Strings(impact.Instances)
+	impact.Progress = make(map[string]float64, len(affected))
+	impact.Priority = make(map[string]int, len(affected))
+	for _, id := range impact.Instances {
 		if in, ok := e.lookup(id); ok {
 			mu := e.shardFor(id)
 			mu.Lock()
@@ -250,6 +253,5 @@ func (e *Engine) WhatIf(nodes []string) OutageImpact {
 			impact.Priority[id] = in.Priority
 		}
 	}
-	sort.Strings(impact.Instances)
 	return impact
 }

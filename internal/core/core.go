@@ -211,6 +211,7 @@ func New(opts Options) (*Engine, error) {
 	}
 	if opts.After == nil {
 		opts.After = func(d time.Duration, f func()) func() {
+			//bioopera:allow walltime real-time default by contract; the sim runtime installs a virtual-clock After
 			t := time.AfterFunc(d, f)
 			return func() { t.Stop() }
 		}
@@ -279,7 +280,9 @@ func (e *Engine) now() sim.Time { return e.opts.Clock.Now() }
 func (e *Engine) emit(ev Event) {
 	ev.At = e.now()
 	if data, err := json.Marshal(ev); err == nil {
-		e.opts.Store.AppendEvent(data)
+		if _, err := e.opts.Store.AppendEvent(data); err != nil && e.opts.OnError != nil {
+			e.opts.OnError(fmt.Errorf("core: append event %s: %w", ev.Kind, err))
+		}
 	}
 	if e.opts.OnEvent != nil {
 		e.opts.OnEvent(ev)

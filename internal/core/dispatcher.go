@@ -111,6 +111,7 @@ func (e *Engine) dispatch(job sched.Job, node string, ref *queuedRef) bool {
 	if t.Timeout > 0 {
 		l.Timeout = time.Duration(t.Timeout * float64(time.Second))
 	}
+	//bioopera:allow locksafe reserve-then-launch must be atomic per job; Executor.Launch is contractually non-blocking (goroutine spawn locally, one JSON frame remotely)
 	if err := e.opts.Executor.Launch(l); err != nil {
 		// Capacity changed under us; requeue and stop draining.
 		e.dmu.Lock()

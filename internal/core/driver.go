@@ -2,6 +2,7 @@ package core
 
 import (
 	"encoding/json"
+	"fmt"
 	"time"
 
 	"bioopera/internal/cluster"
@@ -83,6 +84,13 @@ func NewSimRuntime(cfg SimConfig) (*SimRuntime, error) {
 	}
 	rt := &SimRuntime{Sim: s, Store: st}
 	rt.Cluster = cluster.New(s, cfg.Spec, cluster.Options{InitialCPUs: cfg.InitialCPUs})
+	// Store failures outside the engine (journal appends, config records,
+	// periodic snapshots) flow to the same OnError the engine uses.
+	storeErr := func(context string, err error) {
+		if err != nil && cfg.Options.OnError != nil {
+			cfg.Options.OnError(fmt.Errorf("core: sim runtime %s: %w", context, err))
+		}
+	}
 
 	opts := cfg.Options
 	opts.Store = st
@@ -110,7 +118,8 @@ func NewSimRuntime(cfg SimConfig) (*SimRuntime, error) {
 				"at": ev.At, "kind": "cluster-" + ev.Type.String(),
 				"node": ev.Node, "detail": ev.Detail,
 			})
-			st.AppendEvent(rec)
+			_, err := st.AppendEvent(rec)
+			storeErr("journal cluster event", err)
 			// Capacity may have appeared: node back up, CPUs
 			// added, or a slot freed by a failure.
 			switch ev.Type {
@@ -123,7 +132,7 @@ func NewSimRuntime(cfg SimConfig) (*SimRuntime, error) {
 	// Record the configuration space (§3.2).
 	for _, n := range cfg.Spec.Nodes {
 		rec := []byte(n.Name + " os=" + n.OS)
-		st.Put(store.Configuration, "node/"+n.Name, rec)
+		storeErr("record node config", st.Put(store.Configuration, "node/"+n.Name, rec))
 	}
 
 	if cfg.TrackEvery > 0 {
@@ -131,7 +140,7 @@ func NewSimRuntime(cfg SimConfig) (*SimRuntime, error) {
 	}
 	if cfg.SnapshotEvery > 0 {
 		if snap, ok := st.(Snapshotter); ok {
-			s.Every(cfg.SnapshotEvery, func(sim.Time) { snap.Snapshot() })
+			s.Every(cfg.SnapshotEvery, func(sim.Time) { storeErr("periodic snapshot", snap.Snapshot()) })
 		}
 	}
 	if cfg.Monitor {
@@ -146,7 +155,8 @@ func NewSimRuntime(cfg SimConfig) (*SimRuntime, error) {
 					rec, _ := json.Marshal(map[string]any{
 						"at": at, "kind": "load-report", "node": name, "load": load,
 					})
-					st.AppendEvent(rec)
+					_, err := st.AppendEvent(rec)
+					storeErr("journal load report", err)
 				})
 		}
 	}

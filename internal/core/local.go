@@ -1,3 +1,9 @@
+// The local pool is the real-time executor: wall-clock reads here feed
+// completion records and load accounting for runs that really execute,
+// never the deterministic trace (the sim runtime replaces this executor
+// entirely).
+//bioopera:allow walltime file-wide: the local pool executes in real time by design
+
 package core
 
 import (

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"bioopera/internal/ocr"
@@ -85,9 +86,17 @@ func (rb *RuntimeBase) InstanceStatus(id string) (InstanceStatus, map[string]ocr
 
 // Wait blocks until the instance reaches Done or Failed, or the timeout
 // elapses. It returns the instance.
+//
+// One timer is the whole timeout mechanism: when it fires it flips
+// expired and bumps the generation, so the loop below wakes and observes
+// the expiry on its next pass — no wall-clock deadline re-poll.
 func (rb *RuntimeBase) Wait(id string, timeout time.Duration) (*Instance, error) {
-	deadline := time.Now().Add(timeout)
-	timer := time.AfterFunc(timeout, rb.Bump)
+	var expired atomic.Bool
+	//bioopera:allow walltime Wait serves the real-time runtimes; their timeout is wall-clock by contract
+	timer := time.AfterFunc(timeout, func() {
+		expired.Store(true)
+		rb.Bump()
+	})
 	defer timer.Stop()
 	eng := rb.Engine()
 	for {
@@ -103,7 +112,7 @@ func (rb *RuntimeBase) Wait(id string, timeout time.Duration) (*Instance, error)
 		if st := in.statusNow(); st == InstanceDone || st == InstanceFailed {
 			return in, nil
 		}
-		if time.Now().After(deadline) {
+		if expired.Load() {
 			return in, fmt.Errorf("core: instance %s still %s after %v", id, in.statusNow(), timeout)
 		}
 		rb.waitMu.Lock()
@@ -131,6 +140,7 @@ func (rb *RuntimeBase) StartSnapshots(st store.Store, every time.Duration) {
 	rb.snapStop = stop
 	onError := rb.Engine().opts.OnError
 	go func() {
+		//bioopera:allow walltime snapshot cadence paces real disk I/O; the sim runtime has its own virtual-clock snapshots
 		t := time.NewTicker(every)
 		defer t.Stop()
 		for {

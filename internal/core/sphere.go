@@ -145,7 +145,12 @@ func (e *Engine) abortSphere(in *Instance, sc *scope, t *ocr.Task, ts *taskState
 	// 4. Discard the sphere's scopes (memory and store).
 	for _, s := range subtree {
 		delete(in.scopes, s.ID)
-		e.opts.Store.Delete(store.Instance, scopeKey(in.ID, s.ID))
+		if err := e.opts.Store.Delete(store.Instance, scopeKey(in.ID, s.ID)); err != nil {
+			// The scope is gone from memory either way; surface the
+			// orphaned record so the operator knows recovery may resurrect
+			// it.
+			e.persistError(in, "delete scope "+scopeKey(in.ID, s.ID), err)
+		}
 		if s.Parent != nil {
 			delete(s.Parent.children, s.ID)
 		}

@@ -258,10 +258,12 @@ func (in *Instance) WALL(now sim.Time) time.Duration {
 // but may dip when a large block expands.
 func (in *Instance) Progress() float64 {
 	var done, total int
+	//bioopera:allow maprange order-independent counting; Terminal is a pure predicate and nothing is emitted
 	for _, sc := range in.scopes {
 		if sc.defunct {
 			continue
 		}
+		//bioopera:allow maprange order-independent counting over one scope's tasks
 		for _, ts := range sc.Tasks {
 			total++
 			if ts.Status.Terminal() {

@@ -1,0 +1,113 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// directivePrefix introduces a suppression comment:
+//
+//	//bioopera:allow <analyzer> <reason...>
+//
+// A directive suppresses diagnostics of the named analyzer on its own line
+// and on the line immediately below it — trailing comments cover their
+// statement, standalone comments cover the next one. A directive placed
+// above the package clause covers the whole file (used for files that are
+// wall-clock by design, like the real-time local executor).
+//
+// Directives are themselves checked: the analyzer must exist, the reason
+// must be non-empty, and the directive must actually suppress something —
+// a stale suppression is a diagnostic, so annotations cannot outlive the
+// code they excused.
+const directivePrefix = "//bioopera:allow"
+
+type directive struct {
+	pos      token.Position
+	analyzer string
+	reason   string
+	fileWide bool
+	valid    bool // well-formed: known analyzer and non-empty reason
+	used     bool
+}
+
+// collectDirectives scans a package's comments for //bioopera:allow
+// directives, returning them plus malformed-directive diagnostics.
+func collectDirectives(fset *token.FileSet, files []*ast.File) ([]*directive, []Diagnostic) {
+	known := make(map[string]bool)
+	for _, n := range KnownAnalyzerNames() {
+		known[n] = true
+	}
+	var dirs []*directive
+	var diags []Diagnostic
+	for _, f := range files {
+		pkgLine := fset.Position(f.Package).Line
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, directivePrefix)
+				fields := strings.Fields(rest)
+				d := &directive{pos: pos, fileWide: pos.Line <= pkgLine}
+				if len(fields) > 0 {
+					d.analyzer = fields[0]
+					d.reason = strings.Join(fields[1:], " ")
+				}
+				switch {
+				case d.analyzer == "" || d.reason == "":
+					diags = append(diags, Diagnostic{
+						Analyzer: DirectiveName,
+						Pos:      pos,
+						Message:  "bioopera:allow needs an analyzer name and a reason: //bioopera:allow <analyzer> <why>",
+					})
+				case !known[d.analyzer]:
+					diags = append(diags, Diagnostic{
+						Analyzer: DirectiveName,
+						Pos:      pos,
+						Message:  "bioopera:allow names unknown analyzer " + strconvQuote(d.analyzer) + " (known: " + strings.Join(KnownAnalyzerNames(), ", ") + ")",
+					})
+				default:
+					d.valid = true
+				}
+				dirs = append(dirs, d)
+			}
+		}
+	}
+	return dirs, diags
+}
+
+// applyDirectives filters diagnostics through the suppressions and reports
+// valid directives that suppressed nothing as stale.
+func applyDirectives(diags []Diagnostic, dirs []*directive) (kept, stale []Diagnostic) {
+	for _, d := range diags {
+		suppressed := false
+		// Directive diagnostics are never suppressible: a suppression
+		// that silences the suppression checker defeats the audit trail.
+		if d.Analyzer != DirectiveName {
+			for _, dir := range dirs {
+				if dir.valid && dir.analyzer == d.Analyzer && dir.pos.Filename == d.Pos.Filename &&
+					(dir.fileWide || d.Pos.Line == dir.pos.Line || d.Pos.Line == dir.pos.Line+1) {
+					dir.used = true
+					suppressed = true
+				}
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	for _, dir := range dirs {
+		if dir.valid && !dir.used {
+			stale = append(stale, Diagnostic{
+				Analyzer: DirectiveName,
+				Pos:      dir.pos,
+				Message:  "stale suppression: no " + dir.analyzer + " diagnostic here — remove the //bioopera:allow",
+			})
+		}
+	}
+	return kept, stale
+}
+
+func strconvQuote(s string) string { return `"` + s + `"` }

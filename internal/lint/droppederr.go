@@ -1,0 +1,147 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// droppedErrNames are method/function names whose error results guard
+// durability: dropping one silently turns a persistence failure into
+// corruption discovered at recovery time. The name set catches the
+// stdlib's file/connection teardown (Close, Sync); the package rule below
+// catches everything the store and WAL export.
+var droppedErrNames = map[string]bool{
+	"Close":    true,
+	"Sync":     true,
+	"Flush":    true,
+	"Snapshot": true,
+	"Compact":  true,
+}
+
+// runDroppedErr flags error results from persistence-critical calls that
+// are discarded — either a bare expression statement or assignment to the
+// blank identifier. `defer f.Close()` stays legal: a deferred teardown has
+// no caller left to inform, and flagging it would bury the real signal.
+// Non-test code that genuinely cannot act on the error (double-close on a
+// failure path, best-effort teardown of a dying connection) says so with a
+// //bioopera:allow droppederr directive.
+func runDroppedErr(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				call, ok := st.X.(*ast.CallExpr)
+				if ok && p.monitoredErrCall(call) {
+					p.Reportf(call.Pos(), "%s discards its error: return it or route it to OnError/EvPersistError", callName(call))
+				}
+			case *ast.AssignStmt:
+				p.checkBlankAssign(st)
+			}
+			return true
+		})
+	}
+}
+
+// checkBlankAssign flags `_ = call()` and `v, _ := call()` where the
+// blanked position is a monitored call's error result.
+func (p *Pass) checkBlankAssign(st *ast.AssignStmt) {
+	if len(st.Rhs) != 1 {
+		return
+	}
+	call, ok := st.Rhs[0].(*ast.CallExpr)
+	if !ok || !p.monitoredErrCall(call) {
+		return
+	}
+	sig := p.callSignature(call)
+	if sig == nil {
+		return
+	}
+	for i, lhs := range st.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name != "_" || i >= sig.Results().Len() {
+			continue
+		}
+		if isErrorType(sig.Results().At(i).Type()) {
+			p.Reportf(st.Pos(), "%s assigns its error to _: return it or route it to OnError/EvPersistError", callName(call))
+			return
+		}
+	}
+}
+
+// monitoredErrCall reports whether the call returns an error and belongs
+// to the persistence-critical set: named teardown/flush methods, anything
+// exported by the store or WAL packages, or persist-named helpers.
+func (p *Pass) monitoredErrCall(call *ast.CallExpr) bool {
+	obj := p.calleeObject(call)
+	if obj == nil {
+		return false
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || !hasErrorResult(sig) {
+		return false
+	}
+	if droppedErrNames[fn.Name()] || strings.Contains(strings.ToLower(fn.Name()), "persist") {
+		return true
+	}
+	if pkg := fn.Pkg(); pkg != nil {
+		path := pkg.Path()
+		if strings.HasSuffix(path, "internal/store") || strings.HasSuffix(path, "internal/wal") ||
+			strings.Contains(path, "lint/testdata/droppederr") {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeObject resolves the function or method a call invokes, or nil for
+// builtins, conversions and indirect calls through function values.
+func (p *Pass) calleeObject(call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := p.Info.Selections[fun]; ok {
+			return sel.Obj()
+		}
+		return p.Info.Uses[fun.Sel]
+	case *ast.Ident:
+		return p.Info.Uses[fun]
+	}
+	return nil
+}
+
+func (p *Pass) callSignature(call *ast.CallExpr) *types.Signature {
+	obj := p.calleeObject(call)
+	if obj == nil {
+		return nil
+	}
+	sig, _ := obj.Type().(*types.Signature)
+	return sig
+}
+
+func hasErrorResult(sig *types.Signature) bool {
+	for i := 0; i < sig.Results().Len(); i++ {
+		if isErrorType(sig.Results().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool { return types.Identical(t, errorType) }
+
+// callName renders a call's callee for diagnostics (x.Close, persistMeta).
+func callName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		return types.ExprString(fun)
+	case *ast.Ident:
+		return fun.Name
+	}
+	return "call"
+}

@@ -1,0 +1,121 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The golden harness: each directory under testdata is one fixture
+// package. Expected diagnostics are written in the fixture source as
+//
+//	code // want `regex` `regex...`
+//
+// matching diagnostics reported on that line, or
+//
+//	// wantbelow `regex`
+//
+// matching diagnostics reported on the next line — needed for directive
+// diagnostics, which land on the //bioopera:allow comment itself, where
+// no second comment can sit. Every diagnostic must be expected and every
+// expectation must fire.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+var wantQuoted = regexp.MustCompile("`([^`]+)`")
+
+func TestGolden(t *testing.T) {
+	modRoot, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := NewLoader(modRoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ents, err := os.ReadDir("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if !e.IsDir() {
+			continue
+		}
+		dir := filepath.Join("testdata", e.Name())
+		t.Run(e.Name(), func(t *testing.T) {
+			pkg, err := loader.LoadDir(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			diags := Run([]*Package{pkg})
+			wants := collectWants(t, pkg.Dir)
+			for _, d := range diags {
+				matched := false
+				for _, w := range wants {
+					if w.file == filepath.Base(d.Pos.Filename) && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+						w.hit = true
+						matched = true
+					}
+				}
+				if !matched {
+					t.Errorf("unexpected diagnostic: %s", d)
+				}
+			}
+			for _, w := range wants {
+				if !w.hit {
+					t.Errorf("%s:%d: want diagnostic matching %q, got none", w.file, w.line, w.re)
+				}
+			}
+		})
+	}
+}
+
+// collectWants scans the fixture sources for want / wantbelow comments.
+func collectWants(t *testing.T, dir string) []*expectation {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wants []*expectation
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			marker, offset := "", 0
+			switch {
+			case strings.Contains(line, "// wantbelow "):
+				marker, offset = "// wantbelow ", 1
+			case strings.Contains(line, "// want "):
+				marker, offset = "// want ", 0
+			default:
+				continue
+			}
+			rest := line[strings.Index(line, marker)+len(marker):]
+			groups := wantQuoted.FindAllStringSubmatch(rest, -1)
+			if len(groups) == 0 {
+				t.Fatalf("%s:%d: want comment without a `regex`", name, i+1)
+			}
+			for _, g := range groups {
+				re, err := regexp.Compile(g[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regex %q: %v", name, i+1, g[1], err)
+				}
+				wants = append(wants, &expectation{file: name, line: i + 1 + offset, re: re})
+			}
+		}
+	}
+	return wants
+}

@@ -1,0 +1,104 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// runMapRange guards trace determinism in the deterministic packages: map
+// iteration order varies run to run, so a range over a map whose body does
+// anything order-sensitive — calls out (events, emits, recursion), sends,
+// returns — would make replayed traces diverge. The repo-wide idiom is to
+// collect keys, sort, then iterate the slice; loop bodies that only
+// accumulate (append, map/field assignment, delete, counting) are order-
+// independent and stay legal, which is exactly what the collect step of
+// that idiom does.
+func runMapRange(p *Pass) {
+	if !deterministicPkg(p.Pkg.Path()) {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := p.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if bad, what := p.orderSensitive(rs.Body); bad {
+				p.Reportf(rs.For, "range over map %s has an order-sensitive body (%s): iterate sorted keys to keep traces bit-identical", types.ExprString(rs.X), what)
+			}
+			return true
+		})
+	}
+}
+
+// orderSensitive reports whether a loop body observes iteration order:
+// any call (other than builtins and conversions — calls may transitively
+// emit events), channel operation, return, or goroutine/defer launch makes
+// the per-iteration effect ordering observable.
+func (p *Pass) orderSensitive(body *ast.BlockStmt) (bad bool, what string) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if bad {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if p.isPureBuiltinOrConversion(x) {
+				return true
+			}
+			bad, what = true, "calls "+callName(x)
+			return false
+		case *ast.SendStmt:
+			bad, what = true, "channel send"
+			return false
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				bad, what = true, "channel receive"
+				return false
+			}
+		case *ast.SelectStmt:
+			bad, what = true, "select"
+			return false
+		case *ast.ReturnStmt:
+			bad, what = true, "returns mid-iteration"
+			return false
+		case *ast.GoStmt:
+			bad, what = true, "spawns a goroutine"
+			return false
+		case *ast.DeferStmt:
+			bad, what = true, "defers"
+			return false
+		case *ast.FuncLit:
+			// A literal merely defined (not called) in the body does not
+			// run per-iteration in loop order; calls to it are caught as
+			// calls.
+			return false
+		}
+		return true
+	})
+	return bad, what
+}
+
+// isPureBuiltinOrConversion accepts append/len/cap/delete/copy/make/min/max
+// and type conversions: they neither emit nor observe ordering.
+func (p *Pass) isPureBuiltinOrConversion(call *ast.CallExpr) bool {
+	fun := ast.Unparen(call.Fun)
+	if tv, ok := p.Info.Types[fun]; ok && tv.IsType() {
+		return true // conversion
+	}
+	id, ok := fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if _, ok := p.Info.Uses[id].(*types.Builtin); ok {
+		return true
+	}
+	return false
+}

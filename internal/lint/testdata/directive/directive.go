@@ -1,0 +1,35 @@
+// Package directive is a biooperalint golden fixture: misuse of the
+// //bioopera:allow suppression directive. Directive diagnostics land on
+// the directive's own line, so these cases use the harness's
+// `// wantbelow` form on the line above.
+package directive
+
+import "time"
+
+// sanctioned carries a valid, used suppression: nothing is reported.
+func sanctioned() time.Time {
+	//bioopera:allow walltime fixture: this wall-clock read is the point
+	return time.Now()
+}
+
+// reasonless omits the reason, so the directive is rejected and the
+// violation it meant to excuse survives.
+func reasonless() {
+	// wantbelow `bioopera:allow needs an analyzer name and a reason`
+	//bioopera:allow walltime
+	time.Sleep(0) // want `time\.Sleep reads the wall clock`
+}
+
+// misnamed names an analyzer that does not exist.
+func misnamed() {
+	// wantbelow `bioopera:allow names unknown analyzer "wallclock"`
+	//bioopera:allow wallclock the analyzer is called walltime
+	time.Sleep(0) // want `time\.Sleep reads the wall clock`
+}
+
+// stale holds a directive that suppresses nothing: it is itself
+// reported, so annotations cannot outlive the code they excused.
+func stale() {
+	// wantbelow `stale suppression: no droppederr diagnostic here`
+	//bioopera:allow droppederr nothing below drops an error
+}

@@ -1,0 +1,47 @@
+// Package droppederr is a biooperalint golden fixture: discarded
+// persistence errors. Everything this package exports is monitored (its
+// import path matches the analyzer's store/WAL rule), as are Close/Sync
+// by name.
+package droppederr
+
+type file struct{}
+
+func (file) Close() error { return nil }
+
+func (file) Sync() error { return nil }
+
+func persistMeta() error { return nil }
+
+// bare drops a teardown error on the floor.
+func bare() {
+	var f file
+	f.Close() // want `f\.Close discards its error`
+}
+
+// blank hides the error behind the blank identifier.
+func blank() {
+	_ = persistMeta() // want `persistMeta assigns its error to _`
+}
+
+// deferred teardown is legal: there is no caller left to inform.
+func deferred() error {
+	var f file
+	defer f.Close()
+	return f.Sync()
+}
+
+// handled routes the error to the caller.
+func handled() error {
+	var f file
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// allowed is a documented best-effort teardown.
+func allowed() {
+	var f file
+	//bioopera:allow droppederr fixture: double-close on a failure path is best-effort
+	f.Close()
+}

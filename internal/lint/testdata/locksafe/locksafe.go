@@ -1,0 +1,67 @@
+// Package locksafe is a biooperalint golden fixture: blocking operations
+// and leaked locks inside critical sections.
+package locksafe
+
+import "sync"
+
+type guarded struct {
+	mu  sync.Mutex
+	rmu sync.RWMutex
+	ch  chan int
+	n   int
+}
+
+// blockingSend sends on a channel inside the critical section.
+func (g *guarded) blockingSend() {
+	g.mu.Lock()
+	g.ch <- 1 // want `channel send while holding g\.mu`
+	g.mu.Unlock()
+}
+
+// leak never releases the lock.
+func (g *guarded) leak() {
+	g.mu.Lock() // want `g\.mu\.Lock\(\) has no matching Unlock on every path`
+	g.n++
+}
+
+// earlyReturn releases on the fall-through path only.
+func (g *guarded) earlyReturn(b bool) {
+	g.mu.Lock()
+	if b {
+		return // want `returns while g\.mu is still locked`
+	}
+	g.mu.Unlock()
+}
+
+// good pairs the lock with a deferred unlock.
+func (g *guarded) good() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.n++
+	return g.n
+}
+
+// reads pairs a read lock with its deferred read unlock.
+func (g *guarded) reads() int {
+	g.rmu.RLock()
+	defer g.rmu.RUnlock()
+	return g.n
+}
+
+// waits uses sync.Cond: releasing the mutex while asleep is the
+// condition-variable contract, not a blocked critical section.
+func (g *guarded) waits(c *sync.Cond) {
+	c.L.Lock()
+	for g.n == 0 {
+		c.Wait()
+	}
+	c.L.Unlock()
+}
+
+// allowed documents a send that cannot block by construction.
+func (g *guarded) allowed() {
+	g.mu.Lock()
+	//bioopera:allow locksafe fixture: the channel is buffered and drained by construction
+	g.ch <- 1
+	g.mu.Unlock()
+}

@@ -1,0 +1,43 @@
+// Package maprange is a biooperalint golden fixture: order-sensitive map
+// iteration in a deterministic package.
+package maprange
+
+import "sort"
+
+func emit(string) {}
+
+// bad calls out of the loop body, making iteration order observable.
+func bad(m map[string]int) {
+	for k := range m { // want `range over map m has an order-sensitive body`
+		emit(k)
+	}
+}
+
+// good is the repo idiom: collect keys, sort, then iterate the slice.
+func good(m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		emit(k)
+	}
+}
+
+// counting only accumulates; order-independent bodies stay legal.
+func counting(m map[string]int) int {
+	var n int
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// allowed documents an emission that provably never reaches the trace.
+func allowed(m map[string]int) {
+	//bioopera:allow maprange fixture: emission order does not reach the trace
+	for k := range m {
+		emit(k)
+	}
+}

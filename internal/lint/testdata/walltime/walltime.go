@@ -1,0 +1,33 @@
+// Package walltime is a biooperalint golden fixture: wall-clock reads in
+// a deterministic package. The `// want` comments are matched by the
+// golden test harness in internal/lint.
+package walltime
+
+import "time"
+
+// bad reads the wall clock directly.
+func bad() time.Time {
+	return time.Now() // want `time\.Now reads the wall clock`
+}
+
+// sleeps blocks on the wall clock.
+func sleeps() {
+	time.Sleep(time.Millisecond) // want `time\.Sleep reads the wall clock`
+}
+
+// tickers schedule against the wall clock.
+func tickers() *time.Ticker {
+	return time.NewTicker(time.Second) // want `time\.NewTicker reads the wall clock`
+}
+
+// good uses durations only: the invariant bans clocks, not units.
+func good() time.Duration {
+	d := 2 * time.Second
+	return d.Round(time.Millisecond)
+}
+
+// allowed documents a sanctioned read; the directive silences it.
+func allowed() time.Time {
+	//bioopera:allow walltime fixture: this wall-clock read is the point
+	return time.Now()
+}

@@ -23,6 +23,9 @@ type AgentConfig struct {
 	// Speed is the relative node speed reported to the scheduler
 	// (default 1).
 	Speed float64
+	// HandshakeTimeout bounds how long Dial waits for the server's
+	// welcome after sending hello (default DefaultHandshakeTimeout).
+	HandshakeTimeout time.Duration
 	// Library resolves program names from launch messages. Required.
 	Library *core.Library
 	// Logf receives diagnostics. May be nil.
@@ -67,6 +70,9 @@ func Dial(addr string, cfg AgentConfig) (*Agent, error) {
 	if cfg.Speed <= 0 {
 		cfg.Speed = 1
 	}
+	if cfg.HandshakeTimeout <= 0 {
+		cfg.HandshakeTimeout = DefaultHandshakeTimeout
+	}
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("remote: dial %s: %w", addr, err)
@@ -83,13 +89,15 @@ func Dial(addr string, cfg AgentConfig) (*Agent, error) {
 		nodes[i] = NodeInfo{Name: fmt.Sprintf("cpu%d", i), OS: cfg.OS, CPUs: 1, Speed: cfg.Speed}
 	}
 	if err := a.send(Message{Type: MsgHello, Worker: cfg.Name, Nodes: nodes}); err != nil {
+		//bioopera:allow droppederr the hello failure is returned; closing the dead dial is best-effort
 		conn.Close()
 		return nil, fmt.Errorf("remote: hello: %w", err)
 	}
 	dec := json.NewDecoder(conn)
-	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	conn.SetReadDeadline(time.Now().Add(cfg.HandshakeTimeout))
 	var welcome Message
 	if err := dec.Decode(&welcome); err != nil || welcome.Type != MsgWelcome {
+		//bioopera:allow droppederr the handshake failure is returned; closing the dead dial is best-effort
 		conn.Close()
 		return nil, fmt.Errorf("remote: handshake failed: %v", err)
 	}
@@ -129,17 +137,19 @@ func (a *Agent) ResumeHeartbeats() {
 // Wait blocks until the connection to the server is gone.
 func (a *Agent) Wait() { <-a.done }
 
-// Close tears the connection down.
-func (a *Agent) Close() {
+// Close tears the connection down, returning the close error after the
+// loops have drained.
+func (a *Agent) Close() error {
 	a.mu.Lock()
 	if a.closed {
 		a.mu.Unlock()
-		return
+		return nil
 	}
 	a.closed = true
 	a.mu.Unlock()
-	a.conn.Close()
+	err := a.conn.Close()
 	a.wg.Wait()
+	return err
 }
 
 func (a *Agent) logf(format string, args ...any) {

@@ -40,7 +40,7 @@ func newRemote(t *testing.T, lib *core.Library) *Runtime {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(rt.Close)
+	t.Cleanup(func() { rt.Close() })
 	return rt
 }
 
@@ -64,7 +64,7 @@ func TestRemoteRunTwoWorkers(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		t.Cleanup(a.Close)
+		t.Cleanup(func() { a.Close() })
 	}
 	if err := rt.RegisterTemplateSource(fanSrc); err != nil {
 		t.Fatal(err)
@@ -143,8 +143,8 @@ func TestRemoteHeartbeatFailover(t *testing.T) {
 		t.Fatal(err)
 	}
 	// LIFO: release the hung program before the agents' Close waits on it.
-	t.Cleanup(a.Close)
-	t.Cleanup(a2.Close)
+	t.Cleanup(func() { a.Close() })
+	t.Cleanup(func() { a2.Close() })
 	t.Cleanup(func() { close(block) })
 
 	if err := rt.RegisterTemplateSource(fanSrc); err != nil {
@@ -188,7 +188,7 @@ func TestRemoteWorkerRejoin(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(a1.Close)
+	t.Cleanup(func() { a1.Close() })
 	if err := rt.RegisterTemplateSource(fanSrc); err != nil {
 		t.Fatal(err)
 	}
@@ -219,7 +219,7 @@ func TestRemoteWorkerRejoin(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(a2.Close)
+	t.Cleanup(func() { a2.Close() })
 	if a2.Incarnation() <= a1.Incarnation() {
 		t.Fatalf("rejoin incarnation %d not newer than %d", a2.Incarnation(), a1.Incarnation())
 	}
@@ -266,7 +266,7 @@ func TestRemoteLateCompletionDropped(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(a1.Close)
+	t.Cleanup(func() { a1.Close() })
 	var blockOnce sync.Once
 	unblock := func() { blockOnce.Do(func() { close(block) }) }
 	t.Cleanup(unblock) // LIFO: thaw the hung program before a1.Close waits on it
@@ -289,7 +289,7 @@ PROCESS Who {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(a2.Close)
+	t.Cleanup(func() { a2.Close() })
 	a1.PauseHeartbeats()
 
 	in, err := rt2.Wait(id, 15*time.Second)

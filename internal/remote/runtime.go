@@ -32,10 +32,11 @@ type Config struct {
 	OnError func(error)
 	// SnapshotEvery periodically compacts the store (0 disables).
 	SnapshotEvery time.Duration
-	// HeartbeatEvery / HeartbeatTimeout tune the failure detector; see
-	// ServerConfig.
+	// HeartbeatEvery / HeartbeatTimeout tune the failure detector and
+	// HandshakeTimeout bounds the hello/welcome exchange; see ServerConfig.
 	HeartbeatEvery   time.Duration
 	HeartbeatTimeout time.Duration
+	HandshakeTimeout time.Duration
 	// Logf receives protocol diagnostics. May be nil.
 	Logf func(format string, args ...any)
 }
@@ -67,6 +68,7 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 	srv, err := Listen(cfg.Addr, ServerConfig{
 		HeartbeatEvery:   cfg.HeartbeatEvery,
 		HeartbeatTimeout: cfg.HeartbeatTimeout,
+		HandshakeTimeout: cfg.HandshakeTimeout,
 		Logf:             cfg.Logf,
 		OnNodeEvent: func(worker string, up bool, detail string) {
 			// The configuration space (§3.2) tracks the worker fleet.
@@ -75,7 +77,9 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 				kind = core.EvNodeDown
 			}
 			rec := []byte(fmt.Sprintf("worker %s up=%v %s", worker, up, detail))
-			cfg.Store.Put(store.Configuration, "worker/"+worker, rec)
+			if err := cfg.Store.Put(store.Configuration, "worker/"+worker, rec); err != nil && cfg.OnError != nil {
+				cfg.OnError(fmt.Errorf("remote: record worker %s: %w", worker, err))
+			}
 			if cfg.OnEvent != nil {
 				cfg.OnEvent(core.Event{At: now(), Kind: kind, Node: worker, Detail: detail})
 			}
@@ -99,6 +103,7 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 		},
 	})
 	if err != nil {
+		//bioopera:allow droppederr the engine construction error is returned; closing the fresh listener is best-effort
 		srv.Close()
 		return nil, err
 	}
@@ -121,8 +126,8 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 func (rt *Runtime) Addr() string { return rt.Server.Addr() }
 
 // Close halts the snapshot loop and tears down the server and every worker
-// connection.
-func (rt *Runtime) Close() {
+// connection, returning the listener's close error.
+func (rt *Runtime) Close() error {
 	rt.StopSnapshots()
-	rt.Server.Close()
+	return rt.Server.Close()
 }

@@ -14,10 +14,13 @@ import (
 	"bioopera/internal/sim"
 )
 
-// Defaults for the failure detector.
+// Defaults for the failure detector and connection establishment.
 const (
 	DefaultHeartbeatEvery   = time.Second
 	DefaultHeartbeatTimeout = 3 * time.Second
+	// DefaultHandshakeTimeout bounds the hello/welcome exchange on both
+	// sides of a new connection.
+	DefaultHandshakeTimeout = 10 * time.Second
 )
 
 // ServerConfig tunes the worker server.
@@ -27,6 +30,10 @@ type ServerConfig struct {
 	// HeartbeatTimeout is how long a worker may stay silent before it is
 	// declared dead (default 3 × HeartbeatEvery).
 	HeartbeatTimeout time.Duration
+	// HandshakeTimeout is how long a fresh connection may take to send
+	// its hello before the server hangs up (default
+	// DefaultHandshakeTimeout).
+	HandshakeTimeout time.Duration
 	// OnNodeEvent observes workers joining and being declared dead, for
 	// the awareness journal. May be nil.
 	OnNodeEvent func(worker string, up bool, detail string)
@@ -99,6 +106,9 @@ func Listen(addr string, cfg ServerConfig) (*Server, error) {
 	if cfg.HeartbeatTimeout <= 0 {
 		cfg.HeartbeatTimeout = 3 * cfg.HeartbeatEvery
 	}
+	if cfg.HandshakeTimeout <= 0 {
+		cfg.HandshakeTimeout = DefaultHandshakeTimeout
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("remote: listen %s: %w", addr, err)
@@ -158,6 +168,7 @@ func (s *Server) Close() error {
 	s.mu.Unlock()
 	err := s.ln.Close()
 	for _, c := range conns {
+		//bioopera:allow droppederr worker teardown is best-effort; Close reports the listener's error
 		c.Close()
 	}
 	s.wg.Wait()
@@ -306,11 +317,12 @@ func (s *Server) reaper() {
 // inbound message loop.
 func (s *Server) handleConn(conn net.Conn) {
 	dec := json.NewDecoder(conn)
-	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	conn.SetReadDeadline(time.Now().Add(s.cfg.HandshakeTimeout))
 	var hello Message
 	if err := dec.Decode(&hello); err != nil || hello.Type != MsgHello ||
 		hello.Worker == "" || len(hello.Nodes) == 0 {
 		s.logf("remote: bad handshake from %s", conn.RemoteAddr())
+		//bioopera:allow droppederr hanging up on a bad handshake is best-effort; the event is already logged
 		conn.Close()
 		return
 	}
@@ -326,6 +338,7 @@ func (s *Server) handleConn(conn net.Conn) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
+		//bioopera:allow droppederr the server is closing; refusing the late joiner is best-effort
 		conn.Close()
 		return
 	}
@@ -375,6 +388,7 @@ func (s *Server) handleConn(conn net.Conn) {
 		Incarnation: w.inc,
 		HeartbeatMs: s.cfg.HeartbeatEvery.Milliseconds(),
 	}); err != nil {
+		//bioopera:allow droppederr the welcome send already failed; closing the dead connection is best-effort
 		conn.Close()
 		return
 	}

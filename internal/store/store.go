@@ -366,6 +366,7 @@ func OpenDisk(dir string, opts DiskOptions) (*Disk, error) {
 	d := &Disk{dir: dir, log: l, st: newState()}
 	from, err := d.loadSnapshot()
 	if err != nil {
+		//bioopera:allow droppederr the snapshot load error is returned; closing the half-opened log is best-effort
 		l.Close()
 		return nil, err
 	}
@@ -378,6 +379,7 @@ func OpenDisk(dir string, opts DiskOptions) (*Disk, error) {
 		return nil
 	})
 	if err != nil {
+		//bioopera:allow droppederr the replay error is returned; closing the half-opened log is best-effort
 		l.Close()
 		return nil, err
 	}

@@ -431,6 +431,7 @@ func (l *Log) Close() error {
 		return nil
 	}
 	if err := l.file.Sync(); err != nil {
+		//bioopera:allow droppederr the sync failure is returned; closing the doomed file is best-effort
 		l.file.Close()
 		return fmt.Errorf("wal: %w", err)
 	}

@@ -1,16 +1,16 @@
 #!/bin/sh
 # Repo hygiene + test gate. Run from the repo root:
 #
-#   ./scripts/check.sh          # vet, gofmt, build, tests
+#   ./scripts/check.sh          # gofmt, vet, biooperalint, build, tests
 #   ./scripts/check.sh -race    # same, plus the race-detector suite
 set -eu
 
 cd "$(dirname "$0")/.."
 
-echo "== gofmt"
-unformatted=$(gofmt -l .)
+echo "== gofmt -s"
+unformatted=$(gofmt -s -l .)
 if [ -n "$unformatted" ]; then
-    echo "gofmt needed on:" >&2
+    echo "gofmt -s needed on:" >&2
     echo "$unformatted" >&2
     exit 1
 fi
@@ -20,6 +20,9 @@ go vet ./...
 
 echo "== go build"
 go build ./...
+
+echo "== biooperalint"
+go run ./cmd/biooperalint ./...
 
 echo "== go test"
 go test ./...

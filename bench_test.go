@@ -205,9 +205,10 @@ func BenchmarkOCRParse(b *testing.B) {
 	}
 }
 
-// BenchmarkEngineThroughput measures navigated activities per second on
-// the simulated cluster (a 200-element parallel fan-out).
-func BenchmarkEngineThroughput(b *testing.B) {
+// engineThroughput runs the 200-element parallel fan-out b.N times,
+// optionally with the full observability stack (metrics registry + event
+// ring) attached — the configuration `serve -monitor` runs with.
+func engineThroughput(b *testing.B, observed bool) {
 	const src = `
 PROCESS Fan {
   INPUT xs;
@@ -228,7 +229,12 @@ PROCESS Fan {
 		lib.RegisterFunc("bench.id", func(_ core.ProgramCtx, args map[string]ocr.Value) (map[string]ocr.Value, error) {
 			return map[string]ocr.Value{"r": args["x"]}, nil
 		})
-		rt, err := core.NewSimRuntime(core.SimConfig{Seed: 1, Spec: cluster.IkLinux(), Library: lib})
+		cfg := core.SimConfig{Seed: 1, Spec: cluster.IkLinux(), Library: lib}
+		if observed {
+			cfg.Options.Metrics = NewMetricsRegistry()
+			cfg.Options.EventRing = NewEventRing(1024)
+		}
+		rt, err := core.NewSimRuntime(cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -246,6 +252,19 @@ PROCESS Fan {
 		}
 	}
 	b.ReportMetric(float64(200*b.N)/b.Elapsed().Seconds(), "activities/s")
+}
+
+// BenchmarkEngineThroughput measures navigated activities per second on
+// the simulated cluster (a 200-element parallel fan-out).
+func BenchmarkEngineThroughput(b *testing.B) {
+	engineThroughput(b, false)
+}
+
+// BenchmarkEngineThroughputObserved is the same workload with metrics and
+// the event ring enabled; comparing against BenchmarkEngineThroughput
+// measures the instrumentation's overhead (budget: within 3%).
+func BenchmarkEngineThroughputObserved(b *testing.B) {
+	engineThroughput(b, true)
 }
 
 // BenchmarkWALAppendBatch contrasts one fsync per record (batch size 1)

@@ -54,6 +54,7 @@ import (
 	"bioopera/internal/cluster"
 	"bioopera/internal/core"
 	"bioopera/internal/darwin"
+	"bioopera/internal/obs"
 	"bioopera/internal/ocr"
 	"bioopera/internal/store"
 	"bioopera/internal/tower"
@@ -121,7 +122,40 @@ type (
 	Store = store.Store
 	// StoreOp is one mutation inside a Store.Batch.
 	StoreOp = store.Op
+	// StoreStats summarizes a disk store: records per space, WAL
+	// segments, snapshot and commit-group counters.
+	StoreStats = store.Stats
 )
+
+// Observability types (the BioOpera monitor, §3.2/§3.5, over HTTP).
+type (
+	// MetricsRegistry collects counters, gauges and histograms and writes
+	// Prometheus text exposition.
+	MetricsRegistry = obs.Registry
+	// EventRing is a bounded ring of emitted engine events for live
+	// tailing; publishing never blocks.
+	EventRing = obs.Ring
+	// MonitorServer serves /metrics and the JSON monitor API.
+	MonitorServer = obs.Server
+	// MonitorConfig configures a MonitorServer.
+	MonitorConfig = obs.ServerConfig
+	// MonitorSource adapts an Engine to the monitor server.
+	MonitorSource = core.MonitorSource
+)
+
+// NewMetricsRegistry returns an empty metrics registry; pass it through a
+// runtime config's Metrics field to instrument the engine and store.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewEventRing returns a bounded event ring for a runtime config's
+// EventRing field; size bounds how far a tailing client may lag.
+func NewEventRing(size int) *EventRing { return obs.NewRing(size) }
+
+// NewMonitorServer builds the monitor HTTP server over a source.
+func NewMonitorServer(cfg MonitorConfig) *MonitorServer { return obs.NewServer(cfg) }
+
+// NewMonitorSource adapts an engine for NewMonitorServer.
+func NewMonitorSource(e *Engine) *MonitorSource { return core.NewMonitorSource(e) }
 
 // Instance statuses.
 const (

@@ -28,6 +28,7 @@ import (
 	"bioopera"
 	"bioopera/internal/cluster"
 	"bioopera/internal/core"
+	"bioopera/internal/obs"
 	"bioopera/internal/ocr"
 	"bioopera/internal/store"
 )
@@ -586,11 +587,15 @@ func trunc(s string, n int) string {
 }
 
 // openStore returns a disk store when dir is set, else an in-memory one.
-func openStore(dir string) (store.Store, error) {
+func openStore(dir string) (store.Store, error) { return openStoreWith(dir, nil) }
+
+// openStoreWith additionally registers the disk store's gauges and WAL
+// histograms on reg when both a directory and a registry are given.
+func openStoreWith(dir string, reg *obs.Registry) (store.Store, error) {
 	if dir == "" {
 		return store.NewMem(), nil
 	}
-	return store.OpenDisk(dir, store.DiskOptions{})
+	return store.OpenDisk(dir, store.DiskOptions{Metrics: reg})
 }
 
 // historyInstance is the subset of the engine's archived instance record
@@ -611,12 +616,18 @@ type historyInstance struct {
 func cmdHistory(args []string) error {
 	fs := flag.NewFlagSet("history", flag.ExitOnError)
 	events := fs.Bool("events", false, "print the event journal too")
+	instance := fs.String("instance", "", "only this instance's records and events")
+	last := fs.Int("last", 0, "only the last n journal events (implies -events)")
+	stats := fs.Bool("stats", false, "print store statistics (records, WAL, snapshots)")
 	if len(args) == 0 || strings.HasPrefix(args[0], "-") {
-		return fmt.Errorf("usage: bioopera history <store-dir> [-events]")
+		return fmt.Errorf("usage: bioopera history <store-dir> [-events] [-instance id] [-last n] [-stats]")
 	}
 	dir := args[0]
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
+	}
+	if *last > 0 {
+		*events = true
 	}
 	st, err := store.OpenDisk(dir, store.DiskOptions{})
 	if err != nil {
@@ -647,6 +658,9 @@ func cmdHistory(args []string) error {
 			}
 			var h historyInstance
 			if err := json.Unmarshal(kv.Value, &h); err != nil {
+				continue
+			}
+			if *instance != "" && h.ID != *instance {
 				continue
 			}
 			insts = append(insts, h)
@@ -685,11 +699,39 @@ func cmdHistory(args []string) error {
 		return err
 	}
 
+	if *stats {
+		ds := st.Stats()
+		fmt.Println("store statistics:")
+		spaces := make([]string, 0, len(ds.Records))
+		for sp := range ds.Records {
+			spaces = append(spaces, sp)
+		}
+		sort.Strings(spaces)
+		for _, sp := range spaces {
+			fmt.Printf("  records %-14s %d\n", sp, ds.Records[sp])
+		}
+		fmt.Printf("  events             %d (last seq %d)\n", ds.Events, ds.EventSeq)
+		fmt.Printf("  wal segments       %d (next seq %d, %d syncs)\n", ds.WALSegments, ds.WALNextSeq, ds.WALSyncs)
+		fmt.Printf("  snapshot seq       %d\n", ds.SnapshotSeq)
+		fmt.Printf("  commit groups      %d (%d grouped records)\n", ds.CommitGroups, ds.GroupedRecords)
+	}
+
 	if *events {
+		// Events streams from the journal one record at a time, so a long
+		// history never accumulates in memory here.
+		from := uint64(1)
+		if *last > 0 {
+			if seq := st.Stats().EventSeq; seq > uint64(*last) {
+				from = seq - uint64(*last) + 1
+			}
+		}
 		fmt.Println("event journal:")
-		return st.Events(1, func(e store.Event) error {
+		return st.Events(from, func(e store.Event) error {
 			var ev core.Event
 			if json.Unmarshal(e.Data, &ev) == nil {
+				if *instance != "" && ev.Instance != *instance {
+					return nil
+				}
 				fmt.Printf("  %6d %12s %-20s %s %s %s %s\n",
 					e.Seq, time.Duration(ev.At).Round(time.Millisecond), ev.Kind,
 					ev.Instance, ev.Scope, ev.Task, ev.Detail)

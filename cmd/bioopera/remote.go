@@ -4,9 +4,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"bioopera/internal/core"
+	"bioopera/internal/obs"
 	"bioopera/internal/remote"
 )
 
@@ -24,6 +26,7 @@ func cmdServe(args []string) error {
 	beat := fs.Duration("heartbeat", time.Second, "worker heartbeat cadence")
 	beatTimeout := fs.Duration("heartbeat-timeout", 0, "silence before a worker is declared dead (default 3× heartbeat)")
 	storeDir := fs.String("store", "", "persist state and history to this directory")
+	monitor := fs.String("monitor", "", "HTTP monitor address (e.g. 127.0.0.1:8080); serves /metrics and /api/*")
 	verbose := fs.Bool("v", false, "log protocol and node events")
 	file, err := fileThenFlags(fs, args, "usage: bioopera serve <file.ocr> [flags]")
 	if err != nil {
@@ -40,7 +43,16 @@ func cmdServe(args []string) error {
 	if err != nil {
 		return err
 	}
-	st, err := openStore(*storeDir)
+	// -monitor enables the whole observability stack: the registry feeds
+	// /metrics (and the store's gauges, when persistent), the ring feeds
+	// the /api/events long-poll tail.
+	var reg *obs.Registry
+	var ring *obs.Ring
+	if *monitor != "" {
+		reg = obs.NewRegistry()
+		ring = obs.NewRing(1024)
+	}
+	st, err := openStoreWith(*storeDir, reg)
 	if err != nil {
 		return err
 	}
@@ -56,6 +68,8 @@ func cmdServe(args []string) error {
 		HeartbeatEvery:   *beat,
 		HeartbeatTimeout: *beatTimeout,
 		Logf:             logf,
+		Metrics:          reg,
+		EventRing:        ring,
 		OnEvent: func(ev core.Event) {
 			switch ev.Kind {
 			case core.EvNodeJoined, core.EvNodeDown:
@@ -82,6 +96,18 @@ func cmdServe(args []string) error {
 	if regErr != nil {
 		return regErr
 	}
+	if *monitor != "" {
+		msrv := obs.NewServer(obs.ServerConfig{
+			Source:   core.NewMonitorSource(rt.Engine()),
+			Registry: reg,
+			Events:   ring,
+		})
+		if err := msrv.Start(*monitor); err != nil {
+			return err
+		}
+		defer msrv.Close()
+		fmt.Printf("monitor on http://%s (try /metrics, /api/instances, /api/cluster)\n", msrv.Addr())
+	}
 	fmt.Printf("listening on %s, waiting for %d worker(s)\n", rt.Addr(), *workers)
 	deadline := time.Now().Add(*timeout)
 	for {
@@ -103,7 +129,18 @@ func cmdServe(args []string) error {
 	}
 	live, dead, dropped := rt.Server.Stats()
 	fmt.Printf("workers: %d live, %d declared dead, %d stale completions dropped\n", live, dead, dropped)
-	return report(in)
+	if err := report(in); err != nil {
+		return err
+	}
+	// With a monitor attached, stay up after the run so its final state —
+	// history, lineage, metrics — remains queryable until interrupted.
+	if *monitor != "" {
+		fmt.Printf("run complete; monitor still on http://%s (Ctrl-C to exit)\n", *monitor)
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt)
+		<-ch
+	}
+	return nil
 }
 
 // cmdWorker runs a worker agent: it registers its CPUs with a server and

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"bioopera/internal/cluster"
+	"bioopera/internal/obs"
 	"bioopera/internal/ocr"
 	"bioopera/internal/sched"
 	"bioopera/internal/sim"
@@ -147,6 +148,16 @@ type Options struct {
 	// runtime installs a virtual-time timer so timeouts stay
 	// deterministic.
 	After func(d time.Duration, f func()) (cancel func())
+	// Metrics, when non-nil, registers the engine's instrumentation:
+	// event counters by kind, per-shard navigation turn counts, turn
+	// latency, and queue-depth/running-jobs gauges. Handles are
+	// pre-resolved at New, so the enabled hot-path cost is a few atomic
+	// adds; nil disables instrumentation entirely.
+	Metrics *obs.Registry
+	// EventRing, when non-nil, receives every emitted event's serialized
+	// JSON for live tailing (the monitor's /api/events). Publishing never
+	// blocks, so a stalled subscriber cannot slow emit.
+	EventRing *obs.Ring
 }
 
 // queuedRef connects a queued sched.Job back to its task.
@@ -177,8 +188,9 @@ type queuedRef struct {
 // kill completion synchronously, re-entering the same shard) and Pump runs
 // at the tail of every public entry point.
 type Engine struct {
-	opts   Options
-	policy sched.Policy
+	opts    Options
+	policy  sched.Policy
+	metrics *engineMetrics // nil when Options.Metrics is nil
 
 	paused atomic.Bool // global suspend (server-level)
 
@@ -238,17 +250,25 @@ func New(opts Options) (*Engine, error) {
 		}
 		e.templates[kv.Key] = p
 	}
+	if opts.Metrics != nil {
+		e.metrics = newEngineMetrics(opts.Metrics, e)
+	}
 	return e, nil
 }
 
-// shardFor maps an instance ID to its lock (FNV-1a).
-func (e *Engine) shardFor(id string) *sync.Mutex {
+// shardIndex maps an instance ID to its lock shard (FNV-1a).
+func (e *Engine) shardIndex(id string) int {
 	h := uint32(2166136261)
 	for i := 0; i < len(id); i++ {
 		h ^= uint32(id[i])
 		h *= 16777619
 	}
-	return &e.shards[h%uint32(len(e.shards))]
+	return int(h % uint32(len(e.shards)))
+}
+
+// shardFor maps an instance ID to its lock.
+func (e *Engine) shardFor(id string) *sync.Mutex {
+	return &e.shards[e.shardIndex(id)]
 }
 
 // lookup finds an instance in the registry.
@@ -266,6 +286,10 @@ func (e *Engine) lookup(id string) (*Instance, bool) {
 func (e *Engine) endTurn(in *Instance, mu *sync.Mutex, pump bool) {
 	kills := in.pendingKills
 	in.pendingKills = nil
+	if in.turnLive {
+		in.turnLive = false
+		e.metrics.turn(e.shardIndex(in.ID), e.now().Sub(in.turnStart))
+	}
 	mu.Unlock()
 	for _, k := range kills {
 		e.opts.Executor.Kill(cluster.JobID(k.job), k.node)
@@ -283,11 +307,22 @@ func (e *Engine) emit(ev Event) {
 		if _, err := e.opts.Store.AppendEvent(data); err != nil && e.opts.OnError != nil {
 			e.opts.OnError(fmt.Errorf("core: append event %s: %w", ev.Kind, err))
 		}
+		// The ring shares the already-marshaled bytes; Publish never
+		// blocks, so a stalled monitor client cannot slow navigation.
+		e.opts.EventRing.Publish(data)
 	}
+	e.metrics.event(ev.Kind)
 	if e.opts.OnEvent != nil {
 		e.opts.OnEvent(ev)
 	}
 }
+
+// EmitInfra publishes an infrastructure event (worker joined or lost, load
+// change) through the engine's full event path — journal, event ring,
+// metrics, OnEvent — so events originating outside navigation reach every
+// observer the navigation events reach. The timestamp is stamped from the
+// engine clock.
+func (e *Engine) EmitInfra(ev Event) { e.emit(ev) }
 
 // RegisterTemplate validates a process and stores it in the template
 // space under its name. Existing templates are replaced; running
@@ -400,6 +435,7 @@ func (e *Engine) StartProcess(template string, inputs map[string]ocr.Value, opts
 
 	mu := e.shardFor(id)
 	mu.Lock()
+	e.beginTurn(in)
 	if err := e.initScope(in, root); err != nil {
 		mu.Unlock()
 		return "", err
@@ -505,6 +541,7 @@ func (e *Engine) Suspend(id string, graceful bool) error {
 		mu.Unlock()
 		return fmt.Errorf("%w: instance %s is %s", ErrBadState, id, in.Status)
 	}
+	e.beginTurn(in)
 	in.setStatus(InstanceSuspended)
 	e.emit(Event{Kind: EvInstanceSuspended, Instance: id, Detail: fmt.Sprintf("graceful=%v", graceful)})
 	if !graceful {
@@ -527,6 +564,7 @@ func (e *Engine) Resume(id string) error {
 		mu.Unlock()
 		return fmt.Errorf("%w: instance %s is %s", ErrBadState, id, in.Status)
 	}
+	e.beginTurn(in)
 	in.setStatus(InstanceRunning)
 	e.emit(Event{Kind: EvInstanceResumed, Instance: id})
 	e.persist(in)
@@ -546,6 +584,7 @@ func (e *Engine) Abort(id string, reason string) error {
 		mu.Unlock()
 		return fmt.Errorf("%w: instance %s is %s", ErrBadState, id, in.Status)
 	}
+	e.beginTurn(in)
 	e.failInstance(in, "aborted: "+reason)
 	e.endTurn(in, mu, false)
 	return nil

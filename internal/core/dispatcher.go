@@ -69,6 +69,7 @@ func (e *Engine) dispatch(job sched.Job, node string, ref *queuedRef) bool {
 		mu.Unlock()
 		return true
 	}
+	e.beginTurn(in)
 	// Re-validate under the shard: since the pop, the instance may have
 	// been suspended or aborted, the scope torn down by a sphere abort,
 	// or the task superseded by a newer attempt.
@@ -212,6 +213,7 @@ func (e *Engine) HandleCompletion(c cluster.Completion) {
 		e.Pump()
 		return
 	}
+	e.beginTurn(in)
 	if sc.defunct {
 		// The scope was torn down by a sphere abort; the slot is
 		// free, the result is void.

@@ -82,6 +82,7 @@ func (e *Engine) Signal(instanceID, event string, payload map[string]ocr.Value) 
 		mu.Unlock()
 		return fmt.Errorf("%w: instance %s is %s", ErrBadState, instanceID, in.Status)
 	}
+	e.beginTurn(in)
 	e.emit(Event{Kind: EvSignal, Instance: instanceID, Detail: event})
 	key := eventKey(instanceID, event)
 	e.dmu.Lock()
@@ -95,6 +96,7 @@ func (e *Engine) Signal(instanceID, event string, payload map[string]ocr.Value) 
 		delete(e.waiting, key)
 		e.signals[key] = append(e.signals[key], payload)
 		e.dmu.Unlock()
+		in.turnLive = false // buffered: this turn ends without endTurn
 		mu.Unlock()
 		return nil
 	}

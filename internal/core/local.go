@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"bioopera/internal/cluster"
+	"bioopera/internal/obs"
 	"bioopera/internal/ocr"
 	"bioopera/internal/sched"
 	"bioopera/internal/sim"
@@ -62,6 +63,12 @@ type LocalConfig struct {
 	// a long-lived run does not replay an unbounded log on restart.
 	// 0 disables.
 	SnapshotEvery time.Duration
+	// Metrics enables engine instrumentation plus the pool's
+	// slot-occupancy gauges (see Options.Metrics).
+	Metrics *obs.Registry
+	// EventRing receives emitted events for live tailing (see
+	// Options.EventRing).
+	EventRing *obs.Ring
 }
 
 // NewLocalRuntime builds the pool and engine.
@@ -78,14 +85,16 @@ func NewLocalRuntime(cfg LocalConfig) (*LocalRuntime, error) {
 	rt := &LocalRuntime{Store: cfg.Store, start: time.Now()}
 	rt.exec = newLocalExec(rt, cfg.Workers)
 	eng, err := New(Options{
-		Store:    cfg.Store,
-		Library:  cfg.Library,
-		Executor: rt.exec,
-		Clock:    ClockFunc(func() sim.Time { return sim.Time(time.Since(rt.start)) }),
-		Policy:   cfg.Policy,
-		OnEvent:  cfg.OnEvent,
-		OnError:  cfg.OnError,
-		Shards:   cfg.Shards,
+		Store:     cfg.Store,
+		Library:   cfg.Library,
+		Executor:  rt.exec,
+		Clock:     ClockFunc(func() sim.Time { return sim.Time(time.Since(rt.start)) }),
+		Policy:    cfg.Policy,
+		OnEvent:   cfg.OnEvent,
+		OnError:   cfg.OnError,
+		Shards:    cfg.Shards,
+		Metrics:   cfg.Metrics,
+		EventRing: cfg.EventRing,
 		OnInstanceDone: func(*Instance) {
 			rt.Bump()
 		},
@@ -94,6 +103,15 @@ func NewLocalRuntime(cfg LocalConfig) (*LocalRuntime, error) {
 		return nil, err
 	}
 	rt.Bind(eng)
+	if cfg.Metrics != nil {
+		workers := cfg.Workers
+		cfg.Metrics.GaugeFunc("bioopera_local_slots_total",
+			"Worker slots in the local pool.",
+			func() float64 { return float64(workers) })
+		cfg.Metrics.GaugeFunc("bioopera_local_slots_busy",
+			"Worker slots currently executing an activity.",
+			func() float64 { return float64(rt.exec.busySlots()) })
+	}
 	rt.StartSnapshots(cfg.Store, cfg.SnapshotEvery)
 	return rt, nil
 }
@@ -143,6 +161,13 @@ func newLocalExec(rt *LocalRuntime, workers int) *localExec {
 
 // Nodes implements Executor.
 func (ex *localExec) Nodes() []cluster.NodeView { return ex.dir.Nodes() }
+
+// busySlots reports occupied worker slots (the slot-occupancy gauge).
+func (ex *localExec) busySlots() int {
+	ex.mu.Lock()
+	defer ex.mu.Unlock()
+	return len(ex.busy)
+}
 
 // Launch implements Executor: the launch's Run thunk executes on a fresh
 // goroutine and the completion is delivered straight to HandleCompletion,

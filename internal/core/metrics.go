@@ -1,0 +1,97 @@
+package core
+
+import (
+	"strconv"
+	"time"
+
+	"bioopera/internal/obs"
+)
+
+// engineMetrics holds pre-resolved metric handles so the instrumented hot
+// paths (emit, navigation turns) touch only atomics — no registry lookup,
+// no lock, no allocation. A nil *engineMetrics disables everything behind
+// a single pointer check; every method is safe on a nil receiver.
+type engineMetrics struct {
+	events      map[EventKind]*obs.Counter
+	otherEvents *obs.Counter
+	turnSeconds *obs.Histogram
+	shardTurns  []*obs.Counter
+}
+
+// allEventKinds enumerates the kinds that get a pre-registered counter, so
+// the emit path never takes the vec's slow path.
+var allEventKinds = []EventKind{
+	EvInstanceStarted, EvInstanceDone, EvInstanceFailed, EvInstanceSuspended,
+	EvInstanceResumed, EvTaskReady, EvTaskDispatched, EvTaskEnded,
+	EvTaskFailed, EvTaskRetried, EvTaskTimeout, EvTaskDead,
+	EvServerRecovered, EvSphereAborted, EvUndoRun, EvUndoFailed,
+	EvTaskAwaiting, EvSignal, EvPersistError, EvNodeJoined, EvNodeDown,
+}
+
+// newEngineMetrics registers the engine's instrumentation: event counters
+// by kind, per-shard navigation turn counts, turn latency, and the
+// dispatcher gauges (sampled at scrape time, so they cost nothing on the
+// hot path).
+func newEngineMetrics(reg *obs.Registry, e *Engine) *engineMetrics {
+	m := &engineMetrics{events: make(map[EventKind]*obs.Counter, len(allEventKinds))}
+	vec := reg.CounterVec("bioopera_engine_events_total", "Engine events by kind.", "kind")
+	for _, k := range allEventKinds {
+		m.events[k] = vec.With(string(k))
+	}
+	m.otherEvents = vec.With("other")
+	m.turnSeconds = reg.Histogram("bioopera_engine_turn_seconds",
+		"Navigation turn latency: time an instance's shard lock is held per turn.", nil)
+	turns := reg.CounterVec("bioopera_engine_turns_total", "Navigation turns by lock shard.", "shard")
+	m.shardTurns = make([]*obs.Counter, len(e.shards))
+	for i := range e.shards {
+		m.shardTurns[i] = turns.With(strconv.Itoa(i))
+	}
+	reg.GaugeFunc("bioopera_engine_queue_depth",
+		"Activities awaiting dispatch.",
+		func() float64 { return float64(e.QueueLen()) })
+	reg.GaugeFunc("bioopera_engine_running_jobs",
+		"Activities executing on the cluster.",
+		func() float64 { return float64(e.RunningJobs()) })
+	reg.GaugeFunc("bioopera_engine_instances",
+		"Instances in the registry (all statuses).",
+		func() float64 {
+			e.emu.RLock()
+			n := len(e.order)
+			e.emu.RUnlock()
+			return float64(n)
+		})
+	return m
+}
+
+// event counts one emitted engine event by kind. The kind map is immutable
+// after construction, so the lookup is safe from any goroutine.
+func (m *engineMetrics) event(k EventKind) {
+	if m == nil {
+		return
+	}
+	if c, ok := m.events[k]; ok {
+		c.Inc()
+		return
+	}
+	m.otherEvents.Inc()
+}
+
+// turn records one completed navigation turn on the given shard.
+func (m *engineMetrics) turn(shard int, d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.shardTurns[shard].Inc()
+	m.turnSeconds.Observe(d.Seconds())
+}
+
+// beginTurn stamps the start of a navigation turn; endTurn observes the
+// latency. Caller holds the instance's shard. Under the sim clock a turn
+// is instantaneous in virtual time, so simulated histograms read zero —
+// deterministic by construction; real runtimes see real lock-hold times.
+func (e *Engine) beginTurn(in *Instance) {
+	if e.metrics != nil {
+		in.turnStart = e.now()
+		in.turnLive = true
+	}
+}

@@ -211,6 +211,12 @@ type Instance struct {
 	// (which would re-enter the same shard). Guarded by the shard lock.
 	pendingKills []pendingKill
 
+	// turnStart/turnLive stamp the current navigation turn for the
+	// turn-latency metric (guarded by the shard lock; unused when the
+	// engine has no metrics registry).
+	turnStart sim.Time
+	turnLive  bool
+
 	// Accounting (§5.2 measurements).
 	Activities int           // |A|: executed activity completions
 	CPU        time.Duration // CPU(Π): summed activity CPU time

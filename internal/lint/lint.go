@@ -152,6 +152,7 @@ func deterministicPkg(path string) bool {
 	case "bioopera/internal/sim",
 		"bioopera/internal/sched",
 		"bioopera/internal/core",
+		"bioopera/internal/obs",
 		"bioopera/internal/allvsall":
 		return true
 	}

@@ -1,0 +1,34 @@
+// The clock-adapter exception: a function declaring a sim.Clock parameter
+// is exempt from the walltime rule for its whole body, nested closures
+// included — it reads virtual time when given a clock and may fall back to
+// the wall clock only when handed nil (the shape of obs.NowFunc).
+// Functions without such a parameter stay flagged.
+
+package walltime
+
+import (
+	"time"
+
+	"bioopera/internal/sim"
+)
+
+// nowFunc mirrors obs.NowFunc: no directive needed.
+func nowFunc(c sim.Clock) func() sim.Time {
+	if c != nil {
+		return c.Now
+	}
+	start := time.Now()
+	return func() sim.Time { return sim.Time(time.Since(start)) }
+}
+
+// notAClock takes only a duration; the exception does not apply.
+func notAClock(d time.Duration) time.Time {
+	_ = d
+	return time.Now() // want `time\.Now reads the wall clock`
+}
+
+// simTimeParam proves a sim.Time parameter is not a sim.Clock.
+func simTimeParam(t sim.Time) time.Time {
+	_ = t
+	return time.Now() // want `time\.Now reads the wall clock`
+}

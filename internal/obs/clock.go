@@ -1,0 +1,21 @@
+package obs
+
+import (
+	"time"
+
+	"bioopera/internal/sim"
+)
+
+// NowFunc returns the timestamp source instrumentation should use: the
+// virtual clock when the caller runs under simulation, otherwise the wall
+// clock measured from the moment NowFunc was called. Taking a sim.Clock is
+// what makes the wall-clock fallback legal under the walltime lint — a
+// function that accepts the virtual clock has declared its time source,
+// and real time is only ever the nil-Clock fallback.
+func NowFunc(c sim.Clock) func() sim.Time {
+	if c != nil {
+		return c.Now
+	}
+	start := time.Now()
+	return func() sim.Time { return sim.Time(time.Since(start)) }
+}

@@ -1,0 +1,419 @@
+// Package obs is the observability layer: a stdlib-only metrics registry
+// with Prometheus text exposition, a bounded event ring for live tailing,
+// and the monitor HTTP server that plays the role of the paper's GUI
+// (§3.2/§3.5: users watch running processes, query progress and cluster
+// load, and plan maintenance with what-if analysis).
+//
+// The package sits below every runtime layer: it imports only the standard
+// library and internal/sim (for virtual-clock-safe timestamps), so core,
+// store, wal and remote can all hold metric handles without cycles. The
+// monitor server never imports the engine either — it consumes a Source
+// interface that core implements.
+//
+// Hot-path discipline: Counter/Gauge/Histogram updates are single atomic
+// operations on pre-resolved handles — no map lookup, no lock, no
+// allocation. Every update method is also a no-op on a nil receiver, so
+// instrumented code never branches on "metrics enabled?" itself.
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing value.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one. Safe on a nil receiver.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n. Safe on a nil receiver.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a value that can go up and down.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value. Safe on a nil receiver.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adds d (negative to decrease). Safe on a nil receiver.
+func (g *Gauge) Add(d int64) {
+	if g != nil {
+		g.v.Add(d)
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram counts observations into fixed buckets. Observe is lock-free:
+// one atomic add on the bucket, one on the count, one CAS loop on the sum.
+type Histogram struct {
+	bounds []float64 // upper bounds, ascending; implicit +Inf at the end
+	counts []atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Uint64 // math.Float64bits of the running sum
+}
+
+// LatencyBuckets is the default bucket layout for durations in seconds,
+// spanning 1µs–10s.
+var LatencyBuckets = []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1, 10}
+
+// SizeBuckets is the default bucket layout for counts (batch sizes, group
+// sizes).
+var SizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128}
+
+// Observe records one observation. Safe on a nil receiver.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// kind discriminates metric families for exposition and re-registration
+// checks.
+type kind int
+
+const (
+	counterKind kind = iota
+	gaugeKind
+	gaugeFuncKind
+	histogramKind
+)
+
+func (k kind) String() string {
+	switch k {
+	case counterKind:
+		return "counter"
+	case gaugeKind, gaugeFuncKind:
+		return "gauge"
+	case histogramKind:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// family is one named metric with one or more label series.
+type family struct {
+	name  string
+	help  string
+	kind  kind
+	label string // label key; "" for unlabeled families
+
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	funcs    map[string]func() float64
+	hists    map[string]*Histogram
+	bounds   []float64
+}
+
+// Registry holds metric families and renders them in Prometheus text
+// format. Registration takes a lock; updates through the returned handles
+// do not.
+type Registry struct {
+	mu  sync.Mutex
+	fam map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fam: make(map[string]*family)}
+}
+
+// lookup returns the family, creating it on first registration. It panics
+// on a kind or label mismatch with an earlier registration: that is a
+// programming error, not a runtime condition.
+func (r *Registry) lookup(name, help string, k kind, label string) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.fam[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: k, label: label}
+		switch k {
+		case counterKind:
+			f.counters = make(map[string]*Counter)
+		case gaugeKind:
+			f.gauges = make(map[string]*Gauge)
+		case gaugeFuncKind:
+			f.funcs = make(map[string]func() float64)
+		case histogramKind:
+			f.hists = make(map[string]*Histogram)
+		}
+		r.fam[name] = f
+	}
+	if f.kind != k || f.label != label {
+		panic(fmt.Sprintf("obs: metric %q re-registered as %s/%q (was %s/%q)",
+			name, k, label, f.kind, f.label))
+	}
+	return f
+}
+
+// Counter registers (or returns the existing) unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, help, counterKind, "").counter("")
+}
+
+// CounterVec is a counter family keyed by one label.
+type CounterVec struct{ f *family }
+
+// CounterVec registers a counter family with the given label key.
+func (r *Registry) CounterVec(name, help, label string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	return &CounterVec{f: r.lookup(name, help, counterKind, label)}
+}
+
+// With returns the counter for one label value, creating it on first use.
+// Callers on hot paths should resolve handles once, up front.
+func (v *CounterVec) With(value string) *Counter {
+	if v == nil {
+		return nil
+	}
+	return v.f.counter(value)
+}
+
+func (f *family) counter(value string) *Counter {
+	f.mu.RLock()
+	c := f.counters[value]
+	f.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c = f.counters[value]; c == nil {
+		c = &Counter{}
+		f.counters[value] = c
+	}
+	return c
+}
+
+// Gauge registers (or returns the existing) unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	f := r.lookup(name, help, gaugeKind, "")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	g := f.gauges[""]
+	if g == nil {
+		g = &Gauge{}
+		f.gauges[""] = g
+	}
+	return g
+}
+
+// GaugeFunc registers a gauge whose value is computed at scrape time —
+// zero hot-path cost for values the system already tracks (queue depth,
+// slot occupancy, store statistics). Re-registering replaces the function.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.GaugeFuncWith(name, help, "", "", fn)
+}
+
+// GaugeFuncWith registers one labeled series of a scrape-time gauge
+// family, e.g. records per store space. label=="" registers the unlabeled
+// series.
+func (r *Registry) GaugeFuncWith(name, help, label, value string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	f := r.lookup(name, help, gaugeFuncKind, label)
+	f.mu.Lock()
+	f.funcs[value] = fn
+	f.mu.Unlock()
+}
+
+// Histogram registers (or returns the existing) histogram with the given
+// bucket upper bounds (nil = LatencyBuckets).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if bounds == nil {
+		bounds = LatencyBuckets
+	}
+	f := r.lookup(name, help, histogramKind, "")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	h := f.hists[""]
+	if h == nil {
+		h = &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+		f.bounds = bounds
+		f.hists[""] = h
+	}
+	return h
+}
+
+// WriteProm renders every registered family in Prometheus text exposition
+// format, families and series in sorted order so output is stable.
+func (r *Registry) WriteProm(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.fam))
+	for name := range r.fam {
+		names = append(names, name)
+	}
+	fams := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, name := range names {
+		fams = append(fams, r.fam[name])
+	}
+	r.mu.Unlock()
+
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		f.writeProm(bw)
+	}
+	return bw.Flush()
+}
+
+func (f *family) writeProm(w *bufio.Writer) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.kind)
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	for _, value := range sortedKeys(f.counters, f.gauges, f.funcs, f.hists) {
+		labels := promLabel(f.label, value)
+		switch f.kind {
+		case counterKind:
+			fmt.Fprintf(w, "%s%s %d\n", f.name, labels, f.counters[value].Value())
+		case gaugeKind:
+			fmt.Fprintf(w, "%s%s %d\n", f.name, labels, f.gauges[value].Value())
+		case gaugeFuncKind:
+			fmt.Fprintf(w, "%s%s %s\n", f.name, labels, promFloat(f.funcs[value]()))
+		case histogramKind:
+			f.hists[value].writeProm(w, f.name, f.label, value)
+		}
+	}
+}
+
+// writeProm renders one histogram series with cumulative le buckets.
+func (h *Histogram) writeProm(w *bufio.Writer, name, label, value string) {
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, promLabels(label, value, "le", promFloat(b)), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name, promLabels(label, value, "le", "+Inf"), cum)
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, promLabel(label, value), promFloat(h.Sum()))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, promLabel(label, value), h.Count())
+}
+
+// sortedKeys merges the (at most one non-nil) series maps into one sorted
+// key list.
+func sortedKeys(cs map[string]*Counter, gs map[string]*Gauge, fs map[string]func() float64, hs map[string]*Histogram) []string {
+	var keys []string
+	for k := range cs {
+		keys = append(keys, k)
+	}
+	for k := range gs {
+		keys = append(keys, k)
+	}
+	for k := range fs {
+		keys = append(keys, k)
+	}
+	for k := range hs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// promLabel renders {key="value"}, or "" for the unlabeled series.
+// strconv.Quote supplies exactly the escapes the exposition format needs
+// inside label values (backslash, quote, newline).
+func promLabel(key, value string) string {
+	if key == "" {
+		return ""
+	}
+	return "{" + key + "=" + strconv.Quote(value) + "}"
+}
+
+// promLabels renders one or two label pairs (the family label, if any,
+// plus the histogram's le).
+func promLabels(key, value, key2, value2 string) string {
+	var b strings.Builder
+	b.WriteString("{")
+	if key != "" {
+		b.WriteString(key + "=" + strconv.Quote(value) + ",")
+	}
+	b.WriteString(key2 + `="` + value2 + `"}`)
+	return b.String()
+}
+
+// promFloat formats a float the way Prometheus clients expect.
+func promFloat(v float64) string {
+	if math.IsInf(v, +1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -6,6 +6,7 @@ import (
 
 	"bioopera/internal/cluster"
 	"bioopera/internal/core"
+	"bioopera/internal/obs"
 	"bioopera/internal/sched"
 	"bioopera/internal/sim"
 	"bioopera/internal/store"
@@ -39,6 +40,13 @@ type Config struct {
 	HandshakeTimeout time.Duration
 	// Logf receives protocol diagnostics. May be nil.
 	Logf func(format string, args ...any)
+	// Metrics enables engine instrumentation plus the server's
+	// failure-detector counters and worker gauges (see core.Options.Metrics
+	// and ServerConfig.Metrics).
+	Metrics *obs.Registry
+	// EventRing receives emitted events for live tailing (see
+	// core.Options.EventRing).
+	EventRing *obs.Ring
 }
 
 // Runtime drives the engine against remote workers: the BioOpera server
@@ -70,6 +78,7 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 		HeartbeatTimeout: cfg.HeartbeatTimeout,
 		HandshakeTimeout: cfg.HandshakeTimeout,
 		Logf:             cfg.Logf,
+		Metrics:          cfg.Metrics,
 		OnNodeEvent: func(worker string, up bool, detail string) {
 			// The configuration space (§3.2) tracks the worker fleet.
 			kind := core.EvNodeJoined
@@ -80,7 +89,12 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 			if err := cfg.Store.Put(store.Configuration, "worker/"+worker, rec); err != nil && cfg.OnError != nil {
 				cfg.OnError(fmt.Errorf("remote: record worker %s: %w", worker, err))
 			}
-			if cfg.OnEvent != nil {
+			// Route through the engine's event path (journal, ring,
+			// metrics, OnEvent) once it is bound; before that — a worker
+			// racing the handshake — fall back to the bare callback.
+			if eng := rt.Engine(); eng != nil {
+				eng.EmitInfra(core.Event{Kind: kind, Node: worker, Detail: detail})
+			} else if cfg.OnEvent != nil {
 				cfg.OnEvent(core.Event{At: now(), Kind: kind, Node: worker, Detail: detail})
 			}
 		},
@@ -90,14 +104,16 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 	}
 	rt.Server = srv
 	eng, err := core.New(core.Options{
-		Store:    cfg.Store,
-		Library:  cfg.Library,
-		Executor: srv,
-		Clock:    core.ClockFunc(now),
-		Policy:   cfg.Policy,
-		Shards:   cfg.Shards,
-		OnEvent:  cfg.OnEvent,
-		OnError:  cfg.OnError,
+		Store:     cfg.Store,
+		Library:   cfg.Library,
+		Executor:  srv,
+		Clock:     core.ClockFunc(now),
+		Policy:    cfg.Policy,
+		Shards:    cfg.Shards,
+		OnEvent:   cfg.OnEvent,
+		OnError:   cfg.OnError,
+		Metrics:   cfg.Metrics,
+		EventRing: cfg.EventRing,
 		OnInstanceDone: func(*core.Instance) {
 			rt.Bump()
 		},

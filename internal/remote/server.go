@@ -10,6 +10,7 @@ import (
 
 	"bioopera/internal/cluster"
 	"bioopera/internal/core"
+	"bioopera/internal/obs"
 	"bioopera/internal/ocr"
 	"bioopera/internal/sim"
 )
@@ -39,6 +40,9 @@ type ServerConfig struct {
 	OnNodeEvent func(worker string, up bool, detail string)
 	// Logf receives protocol-level diagnostics. May be nil.
 	Logf func(format string, args ...any)
+	// Metrics registers the failure-detector counters and worker gauges
+	// (heartbeats, lease drops, declared-dead). May be nil.
+	Metrics *obs.Registry
 }
 
 // lease records one launched job: who runs it and under which lease and
@@ -95,6 +99,14 @@ type Server struct {
 	nextInc      uint64
 	declaredDead int
 	droppedStale int
+
+	// Failure-detector metrics: pre-resolved, nil-safe handles (see
+	// internal/obs), so instrumentation costs one atomic when enabled and
+	// one nil check when not.
+	mHeartbeats  *obs.Counter
+	mStaleDrops  *obs.Counter
+	mWorkersDead *obs.Counter
+	mJoins       *obs.Counter
 }
 
 // Listen starts a server on addr (e.g. ":7070", or "127.0.0.1:0" to pick a
@@ -121,6 +133,26 @@ func Listen(addr string, cfg ServerConfig) (*Server, error) {
 		workers:   make(map[string]*workerConn),
 		nodeOwner: make(map[string]string),
 		running:   make(map[string]*lease),
+	}
+	if reg := cfg.Metrics; reg != nil {
+		s.mHeartbeats = reg.Counter("bioopera_remote_heartbeats_total",
+			"Heartbeat messages received from worker agents.")
+		s.mStaleDrops = reg.Counter("bioopera_remote_stale_completions_total",
+			"Worker completions dropped by the lease check.")
+		s.mWorkersDead = reg.Counter("bioopera_remote_workers_dead_total",
+			"Workers declared dead by the failure detector.")
+		s.mJoins = reg.Counter("bioopera_remote_worker_joins_total",
+			"Worker agents that completed the hello/welcome handshake.")
+		reg.GaugeFunc("bioopera_remote_workers",
+			"Connected worker agents currently considered alive.",
+			func() float64 { w, _, _ := s.Stats(); return float64(w) })
+		reg.GaugeFunc("bioopera_remote_jobs_leased",
+			"Jobs currently leased to workers.",
+			func() float64 {
+				s.mu.Lock()
+				defer s.mu.Unlock()
+				return float64(len(s.running))
+			})
 	}
 	s.wg.Add(2)
 	go s.acceptLoop()
@@ -392,6 +424,7 @@ func (s *Server) handleConn(conn net.Conn) {
 		conn.Close()
 		return
 	}
+	s.mJoins.Inc()
 	s.logf("remote: worker %s joined (incarnation %d, %d nodes)", w.name, w.inc, len(w.nodes))
 	if s.cfg.OnNodeEvent != nil {
 		s.cfg.OnNodeEvent(w.name, true, fmt.Sprintf("incarnation %d", w.inc))
@@ -414,6 +447,7 @@ func (s *Server) handleConn(conn net.Conn) {
 		switch m.Type {
 		case MsgHeartbeat:
 			// lastBeat already refreshed above.
+			s.mHeartbeats.Inc()
 		case MsgCompletion:
 			s.handleCompletion(w, m)
 		default:
@@ -451,6 +485,7 @@ func (s *Server) declareDead(w *workerConn, reason string) {
 	deliver := s.onCompletion
 	onChange := s.onChange
 	s.mu.Unlock()
+	s.mWorkersDead.Inc()
 
 	s.logf("remote: worker %s declared dead (%s), %d jobs requeued", w.name, reason, len(lost))
 	if s.cfg.OnNodeEvent != nil {
@@ -482,6 +517,7 @@ func (s *Server) handleCompletion(w *workerConn, m Message) {
 	if !valid {
 		s.droppedStale++
 		s.mu.Unlock()
+		s.mStaleDrops.Inc()
 		s.logf("remote: dropped stale completion for job %s from %s (lease %d)", m.Job, w.name, m.Lease)
 		return
 	}

@@ -30,6 +30,7 @@ import (
 	"strings"
 	"sync"
 
+	"bioopera/internal/obs"
 	"bioopera/internal/wal"
 )
 
@@ -327,6 +328,13 @@ type Disk struct {
 	gmu     sync.Mutex // guards pending
 	pending *commitGroup
 	wmu     sync.Mutex // serializes group flushes (one leader at a time)
+
+	// Group-commit accounting (written under mu in flushGroup).
+	commitGroups   uint64
+	groupedRecords uint64
+	snapSeq        uint64 // WAL seq of the newest snapshot (0 = none)
+
+	groupSize *obs.Histogram // records per flushed group (nil = no metrics)
 }
 
 // commitReq is one caller's mutation set awaiting group commit. seq, when
@@ -351,15 +359,27 @@ type DiskOptions struct {
 	NoSync bool
 	// SegmentSize overrides the WAL segment rotation threshold.
 	SegmentSize int64
+	// Metrics, when non-nil, registers the store's gauges (live records
+	// per space, WAL segments, snapshot seq, commit groups — the Stats
+	// fields, sampled at scrape time) and the commit-group-size and WAL
+	// append/fsync latency histograms.
+	Metrics *obs.Registry
 }
 
 // OpenDisk opens or creates a disk store in dir, recovering state from the
 // latest snapshot plus the WAL tail.
 func OpenDisk(dir string, opts DiskOptions) (*Disk, error) {
-	l, err := wal.Open(filepath.Join(dir, "wal"), wal.Options{
+	wopts := wal.Options{
 		NoSync:      opts.NoSync,
 		SegmentSize: opts.SegmentSize,
-	})
+	}
+	if opts.Metrics != nil {
+		wopts.AppendLatency = opts.Metrics.Histogram("bioopera_wal_append_seconds",
+			"Latency of wal.AppendBatch, fsync included.", nil)
+		wopts.SyncLatency = opts.Metrics.Histogram("bioopera_wal_fsync_seconds",
+			"Latency of the fsync inside wal.AppendBatch.", nil)
+	}
+	l, err := wal.Open(filepath.Join(dir, "wal"), wopts)
 	if err != nil {
 		return nil, err
 	}
@@ -383,7 +403,38 @@ func OpenDisk(dir string, opts DiskOptions) (*Disk, error) {
 		l.Close()
 		return nil, err
 	}
+	if opts.Metrics != nil {
+		d.groupSize = opts.Metrics.Histogram("bioopera_store_commit_group_records",
+			"Records per group-committed WAL batch.", obs.SizeBuckets)
+		d.registerGauges(opts.Metrics)
+	}
 	return d, nil
+}
+
+// registerGauges exposes the Stats fields as scrape-time gauges — no cost
+// on the commit path beyond the counters flushGroup already keeps.
+func (d *Disk) registerGauges(reg *obs.Registry) {
+	for sp := Space(0); sp < numSpaces; sp++ {
+		space := sp
+		reg.GaugeFuncWith("bioopera_store_records",
+			"Live records per store space.", "space", space.String(),
+			func() float64 { return float64(d.Stats().Records[space.String()]) })
+	}
+	reg.GaugeFunc("bioopera_store_events",
+		"Journal records held in memory.",
+		func() float64 { return float64(d.Stats().Events) })
+	reg.GaugeFunc("bioopera_store_wal_segments",
+		"Live WAL segment files.",
+		func() float64 { return float64(len(d.log.Segments())) })
+	reg.GaugeFunc("bioopera_store_wal_syncs",
+		"Fsyncs issued by WAL appends since open.",
+		func() float64 { return float64(d.log.Syncs()) })
+	reg.GaugeFunc("bioopera_store_snapshot_seq",
+		"WAL sequence of the newest snapshot (0 = none).",
+		func() float64 { return float64(d.Stats().SnapshotSeq) })
+	reg.GaugeFunc("bioopera_store_commit_groups",
+		"Commit groups flushed since open.",
+		func() float64 { return float64(d.Stats().CommitGroups) })
 }
 
 // loadSnapshot restores the newest valid snapshot, returning the WAL
@@ -425,6 +476,7 @@ func (d *Disk) loadSnapshot() (uint64, error) {
 		}
 		d.st.events = snap.Events
 		d.st.eventSeq = snap.EventSeq
+		d.snapSeq = snap.WALSeq
 		return snap.WALSeq, nil
 	}
 	return 1, nil
@@ -494,6 +546,9 @@ func (d *Disk) flushGroup(g *commitGroup) error {
 	if _, err := d.log.AppendBatch(g.encoded); err != nil {
 		return err
 	}
+	d.commitGroups++
+	d.groupedRecords += uint64(len(g.encoded))
+	d.groupSize.Observe(float64(len(g.encoded)))
 	for _, req := range g.reqs {
 		for _, rec := range req.recs {
 			d.apply(rec)
@@ -593,22 +648,22 @@ func (d *Disk) AppendEvent(data []byte) (uint64, error) {
 	return seq, nil
 }
 
-// Events implements Store.
+// Events implements Store. The journal is append-only and its entries are
+// immutable once written, so the slice header captured under the lock can
+// be iterated without copying the events — a history dump streams straight
+// from the shared backing array instead of materializing a second copy.
 func (d *Disk) Events(from uint64, fn func(Event) error) error {
 	d.mu.RLock()
-	if d.closed {
-		d.mu.RUnlock()
+	evs := d.st.events
+	closed := d.closed
+	d.mu.RUnlock()
+	if closed {
 		return ErrClosed
 	}
-	evs := make([]Event, 0, len(d.st.events))
-	for _, e := range d.st.events {
-		if e.Seq >= from {
-			evs = append(evs, e)
-		}
-	}
-	d.mu.RUnlock()
-	for _, e := range evs {
-		if err := fn(e); err != nil {
+	// Events are dense and sorted by Seq; skip straight to `from`.
+	i := sort.Search(len(evs), func(i int) bool { return evs[i].Seq >= from })
+	for ; i < len(evs); i++ {
+		if err := fn(evs[i]); err != nil {
 			return err
 		}
 	}
@@ -618,6 +673,48 @@ func (d *Disk) Events(from uint64, fn func(Event) error) error {
 // WALSyncs reports how many fsyncs the underlying WAL has issued for
 // appends — the group-commit metric benchmarks divide by record count.
 func (d *Disk) WALSyncs() uint64 { return d.log.Syncs() }
+
+// Stats is a point-in-time summary of a Disk store's shape: the numbers
+// behind `bioopera history -stats` and the store gauges.
+type Stats struct {
+	// Records counts live records per space, keyed by Space.String().
+	Records map[string]int
+	// Events is the journal length held in memory; EventSeq the newest
+	// journal sequence.
+	Events   int
+	EventSeq uint64
+	// WALSegments / WALSyncs / WALNextSeq describe the write-ahead log.
+	WALSegments int
+	WALSyncs    uint64
+	WALNextSeq  uint64
+	// SnapshotSeq is the WAL sequence of the newest snapshot (0 = none).
+	SnapshotSeq uint64
+	// CommitGroups counts group commits since open; GroupedRecords the
+	// WAL records they carried (their ratio is the mean group size).
+	CommitGroups   uint64
+	GroupedRecords uint64
+}
+
+// Stats returns a consistent snapshot of the store's statistics.
+func (d *Disk) Stats() Stats {
+	d.mu.RLock()
+	s := Stats{
+		Records:        make(map[string]int, numSpaces),
+		Events:         len(d.st.events),
+		EventSeq:       d.st.eventSeq,
+		SnapshotSeq:    d.snapSeq,
+		CommitGroups:   d.commitGroups,
+		GroupedRecords: d.groupedRecords,
+	}
+	for sp := Space(0); sp < numSpaces; sp++ {
+		s.Records[sp.String()] = len(d.st.spaces[sp])
+	}
+	d.mu.RUnlock()
+	s.WALSegments = len(d.log.Segments())
+	s.WALSyncs = d.log.Syncs()
+	s.WALNextSeq = d.log.NextSeq()
+	return s
+}
 
 // Snapshot writes the full state to a snapshot file and garbage-collects
 // WAL segments that precede it.
@@ -653,6 +750,9 @@ func (d *Disk) Snapshot() error {
 	if err := d.log.TruncateBefore(snap.WALSeq); err != nil {
 		return err
 	}
+	d.mu.Lock()
+	d.snapSeq = snap.WALSeq
+	d.mu.Unlock()
 	// Remove superseded snapshots.
 	entries, err := os.ReadDir(d.dir)
 	if err != nil {

@@ -40,6 +40,9 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
+
+	"bioopera/internal/obs"
 )
 
 const (
@@ -75,6 +78,11 @@ type Options struct {
 	// NoSync disables fsync after each append. Experiments use it; the
 	// durability tests do not.
 	NoSync bool
+	// AppendLatency, when non-nil, observes the wall time of each
+	// AppendBatch call (seconds, fsync included).
+	AppendLatency *obs.Histogram
+	// SyncLatency, when non-nil, observes the fsync portion alone.
+	SyncLatency *obs.Histogram
 }
 
 // Log is a segmented write-ahead log. It is safe for concurrent use.
@@ -250,6 +258,10 @@ func (l *Log) AppendBatch(records [][]byte) (uint64, error) {
 	if len(records) == 0 {
 		return 0, nil
 	}
+	var start time.Time
+	if l.opts.AppendLatency != nil {
+		start = time.Now()
+	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.file == nil || l.size >= l.opts.SegmentSize {
@@ -283,14 +295,24 @@ func (l *Log) AppendBatch(records [][]byte) (uint64, error) {
 		return 0, fmt.Errorf("wal: %w", err)
 	}
 	if !l.opts.NoSync {
+		var syncStart time.Time
+		if l.opts.SyncLatency != nil {
+			syncStart = time.Now()
+		}
 		if err := l.file.Sync(); err != nil {
 			return 0, fmt.Errorf("wal: %w", err)
+		}
+		if l.opts.SyncLatency != nil {
+			l.opts.SyncLatency.Observe(time.Since(syncStart).Seconds())
 		}
 		l.syncs++
 	}
 	l.size += int64(total)
 	seq := l.nextSeq
 	l.nextSeq += uint64(len(records))
+	if l.opts.AppendLatency != nil {
+		l.opts.AppendLatency.Observe(time.Since(start).Seconds())
+	}
 	return seq, nil
 }
 

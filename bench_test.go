@@ -7,7 +7,10 @@ package bioopera
 // a results table.
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
+	"strconv"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -170,6 +173,7 @@ func BenchmarkWALAppend(b *testing.B) {
 	defer l.Close()
 	rec := make([]byte, 256)
 	b.SetBytes(int64(len(rec)))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := l.Append(rec); err != nil {
@@ -283,6 +287,7 @@ func BenchmarkWALAppendBatch(b *testing.B) {
 				batch[i] = make([]byte, 256)
 			}
 			b.SetBytes(int64(256 * size))
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := l.AppendBatch(batch); err != nil {
@@ -337,6 +342,113 @@ func BenchmarkStorePutBatch(b *testing.B) {
 		b.StopTimer()
 		b.ReportMetric(float64(d.WALSyncs())/float64(b.N*ops), "fsyncs/record")
 	})
+}
+
+// countingStore wraps a Store and counts the bytes of every Instance-space
+// put — the write volume a checkpoint pipeline actually pushes through the
+// log, measured below the engine so the number is comparable across
+// checkpoint layouts.
+type countingStore struct {
+	store.Store
+	bytes atomic.Int64
+}
+
+func (c *countingStore) Put(space store.Space, key string, value []byte) error {
+	if space == store.Instance {
+		c.bytes.Add(int64(len(value)))
+	}
+	return c.Store.Put(space, key, value)
+}
+
+func (c *countingStore) Batch(ops []store.Op) error {
+	for _, op := range ops {
+		if op.Space == store.Instance && !op.Delete {
+			c.bytes.Add(int64(len(op.Value)))
+		}
+	}
+	return c.Store.Batch(ops)
+}
+
+// gateCheckpointBytes fails the benchmark when BENCH_GATE is set and the
+// measured checkpoint-bytes/activity regresses more than 10% against the
+// committed BENCH_5.json baseline (the CI bench-smoke gate).
+func gateCheckpointBytes(b *testing.B, width int, got float64) {
+	if os.Getenv("BENCH_GATE") == "" {
+		return
+	}
+	data, err := os.ReadFile("BENCH_5.json")
+	if err != nil {
+		b.Fatalf("BENCH_GATE set but baseline unreadable: %v", err)
+	}
+	var doc struct {
+		CheckpointWidth struct {
+			After map[string]float64 `json:"after_ckpt_bytes_per_activity"`
+		} `json:"checkpoint_width"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		b.Fatalf("BENCH_5.json: %v", err)
+	}
+	base, ok := doc.CheckpointWidth.After[strconv.Itoa(width)]
+	if !ok || base <= 0 {
+		b.Fatalf("BENCH_5.json has no checkpoint baseline for width %d", width)
+	}
+	if got > base*1.10 {
+		b.Fatalf("checkpoint-bytes/activity regressed >10%% at width %d: got %.1f, baseline %.1f", width, got, base)
+	}
+}
+
+// BenchmarkCheckpointWidth sweeps the fan-out width of a parallel block and
+// reports checkpoint bytes written per navigated activity. Under whole-scope
+// checkpointing this grows linearly with width (O(n²) total serialization
+// over a block's lifetime); under per-task delta records it stays flat.
+func BenchmarkCheckpointWidth(b *testing.B) {
+	const srcFmt = `
+PROCESS Fan {
+  INPUT xs;
+  OUTPUT done;
+  BLOCK F PARALLEL OVER xs AS x {
+    MAP results -> done;
+    OUTPUT r;
+    ACTIVITY A { CALL bench.id(x = x); OUT r; MAP r -> r; }
+  }
+}`
+	for _, width := range []int{25, 100, 400} {
+		b.Run(fmt.Sprintf("width=%d", width), func(b *testing.B) {
+			var xs []ocr.Value
+			for i := 0; i < width; i++ {
+				xs = append(xs, ocr.Int(i))
+			}
+			var ckptBytes, acts int64
+			for i := 0; i < b.N; i++ {
+				lib := core.NewLibrary()
+				lib.RegisterFunc("bench.id", func(_ core.ProgramCtx, args map[string]ocr.Value) (map[string]ocr.Value, error) {
+					return map[string]ocr.Value{"r": args["x"]}, nil
+				})
+				cs := &countingStore{Store: store.NewMem()}
+				rt, err := core.NewSimRuntime(core.SimConfig{Seed: 1, Spec: cluster.IkLinux(), Library: lib, Store: cs})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := rt.Engine.RegisterTemplateSource(srcFmt); err != nil {
+					b.Fatal(err)
+				}
+				id, err := rt.Engine.StartProcess("Fan", map[string]ocr.Value{"xs": ocr.List(xs...)}, core.StartOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				rt.Run()
+				in, _ := rt.Engine.Instance(id)
+				if in.Status != core.InstanceDone {
+					b.Fatalf("instance %s", in.Status)
+				}
+				ckptBytes += cs.bytes.Load()
+				acts += int64(in.Activities)
+			}
+			bpa := float64(ckptBytes) / float64(acts)
+			b.ReportMetric(bpa, "ckpt-B/act")
+			gateCheckpointBytes(b, width, bpa)
+		})
+	}
 }
 
 // BenchmarkEngineThroughputConcurrent measures navigated activities per

@@ -286,11 +286,26 @@ func (e *Engine) lookup(id string) (*Instance, bool) {
 func (e *Engine) endTurn(in *Instance, mu *sync.Mutex, pump bool) {
 	kills := in.pendingKills
 	in.pendingKills = nil
+	cks := in.pendingCkpts
+	in.pendingCkpts = nil
+	done := in.pendingDone
+	in.pendingDone = false
 	if in.turnLive {
 		in.turnLive = false
 		e.metrics.turn(e.shardIndex(in.ID), e.now().Sub(in.turnStart))
 	}
 	mu.Unlock()
+	// Flush this turn's checkpoints outside the critical section: JSON
+	// marshaling and the store batch run here, ordered by the instance's
+	// commit gate.
+	for _, ck := range cks {
+		e.flushCkpt(in, ck)
+	}
+	// OnInstanceDone fires after the final checkpoint committed, so a
+	// waiter woken by it reads the archived state from the store.
+	if done && e.opts.OnInstanceDone != nil {
+		e.opts.OnInstanceDone(in)
+	}
 	for _, k := range kills {
 		e.opts.Executor.Kill(cluster.JobID(k.job), k.node)
 	}
@@ -424,6 +439,7 @@ func (e *Engine) StartProcess(template string, inputs map[string]ocr.Value, opts
 		Whiteboard: make(map[string]ocr.Value),
 		Tasks:      make(map[string]*taskState),
 		children:   make(map[string]*scope),
+		wbFull:     true, // roots have no parent to inherit from
 	}
 	for _, name := range proc.Inputs {
 		if v, ok := inputs[name]; ok {
@@ -465,7 +481,10 @@ func (e *Engine) initScope(in *Instance, sc *scope) error {
 		if err != nil {
 			return fmt.Errorf("core: initializing DATA %s: %w", d.Name, err)
 		}
+		// DATA initializers override inherited values, so the scope's
+		// dynamic record must own them.
 		sc.Whiteboard[d.Name] = v
+		sc.ownWB(d.Name, true)
 	}
 	for _, t := range sc.Proc.Tasks {
 		sc.Tasks[t.Name] = &taskState{
@@ -473,7 +492,7 @@ func (e *Engine) initScope(in *Instance, sc *scope) error {
 			ConnIn: make([]connState, len(sc.Proc.Incoming(t.Name))),
 		}
 	}
-	e.touch(sc)
+	e.touchNew(in, sc)
 	return nil
 }
 
@@ -604,10 +623,10 @@ func (e *Engine) SetParameter(id, name string, v ocr.Value) error {
 		mu.Unlock()
 		return fmt.Errorf("%w: instance %s is %s", ErrBadState, id, in.Status)
 	}
-	in.root.Whiteboard[name] = v
-	e.touch(in.root)
+	e.beginTurn(in)
+	e.setWB(in, in.root, name, v)
 	e.persist(in)
-	mu.Unlock()
+	e.endTurn(in, mu, false)
 	return nil
 }
 
@@ -671,9 +690,8 @@ func (e *Engine) failInstance(in *Instance, reason string) {
 	e.dropWaiting(in)
 	e.killRunning(in)
 	e.emit(Event{Kind: EvInstanceFailed, Instance: in.ID, Detail: reason})
-	e.persist(in)
+	// archive snapshots the complete final state (no separate persist
+	// needed); OnInstanceDone fires from endTurn after the flush commits.
 	e.archive(in)
-	if e.opts.OnInstanceDone != nil {
-		e.opts.OnInstanceDone(in)
-	}
+	in.pendingDone = true
 }

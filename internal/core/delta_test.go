@@ -1,0 +1,438 @@
+package core
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"bioopera/internal/ocr"
+	"bioopera/internal/sim"
+	"bioopera/internal/store"
+)
+
+// These tests cover the incremental-checkpoint layout: recovery from
+// legacy whole-scope stores (byte-equivalent state), mixed-layout stores,
+// torn mid-delta batches, checkpoint failure re-marking, and allocation
+// guards on the persist hot path.
+
+// legacyScopeDTO replicates the first engine generation's whole-scope
+// record writer exactly (one scopeDTO per scope, tasks in Proc order), so
+// tests can fabricate stores as the old engine would have written them.
+func legacyScopeDTO(sc *scope) scopeDTO {
+	dto := scopeDTO{
+		ID:         sc.ID,
+		IsRoot:     sc.Parent == nil,
+		ParentTask: sc.ParentTask,
+		ElemIndex:  sc.ElemIndex,
+		ProcText:   sc.procText(),
+		Whiteboard: sc.Whiteboard,
+		Done:       sc.Done,
+	}
+	if sc.Parent != nil {
+		dto.Parent = sc.Parent.ID
+	}
+	for _, t := range sc.Proc.Tasks {
+		ts := sc.Tasks[t.Name]
+		dto.Tasks = append(dto.Tasks, taskDTO{
+			Name: ts.Name, Status: ts.Status, Attempts: ts.Attempts,
+			Inputs: ts.Inputs, Outputs: ts.Outputs,
+			Node: ts.Node, Job: ts.Job, AltOf: ts.AltOf,
+			ReadyAt: ts.ReadyAt, StartedAt: ts.StartedAt, EndedAt: ts.EndedAt,
+			CPUTime: ts.CPUTime, ChildWaiting: ts.ChildWaiting,
+			Results: ts.Results, OverElems: ts.OverElems,
+		})
+	}
+	return dto
+}
+
+// writeLegacyInstance stores an instance in the old layout: one inst/
+// metadata record plus one whole-scope record per scope.
+func writeLegacyInstance(t *testing.T, st store.Store, in *Instance) {
+	t.Helper()
+	meta, err := json.Marshal(buildInstanceDTO(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(store.Instance, metaKey(in.ID), meta); err != nil {
+		t.Fatal(err)
+	}
+	for _, sc := range in.scopes {
+		data, err := json.Marshal(legacyScopeDTO(sc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Put(store.Instance, legacyScopeKey(in.ID, sc.ID), data); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// dumpInstance renders an instance's observable state as canonical JSON:
+// metadata, then each scope (sorted by ID) with its whiteboard and tasks in
+// Proc order, including the derived fields recovery recomputes. Two
+// recoveries of the same execution state must dump byte-identically.
+func dumpInstance(t *testing.T, in *Instance) string {
+	t.Helper()
+	type scopeDump struct {
+		scopeDTO
+		Tasks []taskDTO `json:"tasks"`
+	}
+	var scopes []scopeDump
+	for _, sc := range in.scopes {
+		d := legacyScopeDTO(sc)
+		d.ProcText = sc.procText()
+		scopes = append(scopes, scopeDump{scopeDTO: d, Tasks: d.Tasks})
+	}
+	sort.Slice(scopes, func(i, j int) bool { return scopes[i].ID < scopes[j].ID })
+	out, err := json.MarshalIndent(struct {
+		Meta   instanceDTO `json:"meta"`
+		Scopes []scopeDump `json:"scopes"`
+	}{buildInstanceDTO(in), scopes}, "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out)
+}
+
+// quiesceSuspended runs a mid-flight parallel instance into a stable
+// suspended state: kills delivered, every task Ready or terminal, nothing
+// on the cluster.
+func quiesceSuspended(t *testing.T, rt *SimRuntime, id string, at sim.Time) {
+	t.Helper()
+	rt.RunUntil(at)
+	if err := rt.Engine.Suspend(id, false); err != nil {
+		t.Fatal(err)
+	}
+	rt.RunUntil(at + sim.Time(time.Second)) // drain kill completions
+	if rt.Engine.RunningJobs() != 0 {
+		t.Fatal("jobs still running after suspend drain")
+	}
+}
+
+func TestRecoverLegacyLayoutByteEquivalent(t *testing.T) {
+	// Drive one instance mid-flight in the new layout, fabricate the same
+	// execution state as a legacy whole-scope store, and recover both: the
+	// rebuilt instances must be byte-identical, and the legacy instance
+	// must finish with the same result.
+	stA := store.NewMem()
+	rtA := newRuntime(t, SimConfig{Store: stA})
+	register(t, rtA, parallelSrc)
+	xs := ocr.List(ocr.Num(1), ocr.Num(2), ocr.Num(3), ocr.Num(4), ocr.Num(5), ocr.Num(6))
+	id := start(t, rtA, "Par", map[string]ocr.Value{"xs": xs})
+	quiesceSuspended(t, rtA, id, sim.Time(1500*time.Millisecond))
+
+	inA, _ := rtA.Engine.Instance(id)
+	stB := store.NewMem()
+	writeLegacyInstance(t, stB, inA)
+
+	rtA.Engine.Crash()
+	if n, err := rtA.Engine.Recover(); err != nil || n != 1 {
+		t.Fatalf("recover new layout = %d, %v", n, err)
+	}
+	rtB := newRuntime(t, SimConfig{Store: stB})
+	register(t, rtB, parallelSrc)
+	if n, err := rtB.Engine.Recover(); err != nil || n != 1 {
+		t.Fatalf("recover legacy layout = %d, %v", n, err)
+	}
+
+	inA, _ = rtA.Engine.Instance(id)
+	inB, ok := rtB.Engine.Instance(id)
+	if !ok {
+		t.Fatal("legacy instance not recovered")
+	}
+	dumpA, dumpB := dumpInstance(t, inA), dumpInstance(t, inB)
+	if dumpA != dumpB {
+		t.Fatalf("legacy recovery diverged from new-layout recovery:\n--- new ---\n%s\n--- legacy ---\n%s", dumpA, dumpB)
+	}
+
+	// The legacy instance was converted on recovery: whole-scope records
+	// replaced by delta records in the same store.
+	kvs, err := stB.List(store.Instance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var haveCreate, haveTask, haveProc bool
+	for _, kv := range kvs {
+		switch {
+		case strings.HasPrefix(kv.Key, "scope/"):
+			t.Fatalf("legacy record %s survived conversion", kv.Key)
+		case strings.HasPrefix(kv.Key, "scopec/"):
+			haveCreate = true
+		case strings.HasPrefix(kv.Key, "task/"):
+			haveTask = true
+		case strings.HasPrefix(kv.Key, "proc/"):
+			haveProc = true
+		}
+	}
+	if !haveCreate || !haveTask || !haveProc {
+		t.Fatalf("conversion incomplete: create=%v task=%v proc=%v", haveCreate, haveTask, haveProc)
+	}
+
+	// Both finish with the same answer.
+	for _, rt := range []*SimRuntime{rtA, rtB} {
+		if err := rt.Engine.Resume(id); err != nil {
+			t.Fatal(err)
+		}
+		rt.Run()
+		in := finished(t, rt, id)
+		for i := 0; i < 6; i++ {
+			if got := in.Outputs["doubled"].At(i).AsNum(); got != float64(2*(i+1)) {
+				t.Fatalf("doubled[%d] = %v", i, got)
+			}
+		}
+	}
+}
+
+func TestRecoverMixedLayoutStore(t *testing.T) {
+	// One store holding a new-layout instance alongside a legacy-layout
+	// instance: both must recover and run to completion.
+	stA := store.NewMem()
+	rtA := newRuntime(t, SimConfig{Store: stA})
+	register(t, rtA, parallelSrc)
+	xs1 := ocr.List(ocr.Num(1), ocr.Num(2), ocr.Num(3))
+	xs2 := ocr.List(ocr.Num(10), ocr.Num(20), ocr.Num(30), ocr.Num(40))
+	id1 := start(t, rtA, "Par", map[string]ocr.Value{"xs": xs1})
+	id2 := start(t, rtA, "Par", map[string]ocr.Value{"xs": xs2})
+	rtA.RunUntil(sim.Time(500 * time.Millisecond))
+	for _, id := range []string{id1, id2} {
+		if err := rtA.Engine.Suspend(id, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rtA.RunUntil(sim.Time(2500 * time.Millisecond))
+
+	// id1 keeps its new-layout records; id2 is rewritten as legacy.
+	stM := store.NewMem()
+	kvs, err := stA.List(store.Instance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kv := range kvs {
+		if strings.Contains(kv.Key, id1) {
+			if err := stM.Put(store.Instance, kv.Key, kv.Value); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	in2, _ := rtA.Engine.Instance(id2)
+	writeLegacyInstance(t, stM, in2)
+
+	rtM := newRuntime(t, SimConfig{Store: stM})
+	register(t, rtM, parallelSrc)
+	if n, err := rtM.Engine.Recover(); err != nil || n != 2 {
+		t.Fatalf("recover mixed store = %d, %v", n, err)
+	}
+	for _, id := range []string{id1, id2} {
+		if err := rtM.Engine.Resume(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rtM.Run()
+	in1 := finished(t, rtM, id1)
+	if got := in1.Outputs["doubled"].At(2).AsNum(); got != 6 {
+		t.Fatalf("id1 doubled[2] = %v", got)
+	}
+	in2 = finished(t, rtM, id2)
+	if got := in2.Outputs["doubled"].At(3).AsNum(); got != 80 {
+		t.Fatalf("id2 doubled[3] = %v", got)
+	}
+}
+
+// tearWALTail truncates the newest WAL segment mid-frame, inside the last
+// batch: the cut lands in the middle of the final frame's data, simulating
+// a crash between marshal and full commit of a delta batch.
+func tearWALTail(t *testing.T, dir string) {
+	t.Helper()
+	walDir := filepath.Join(dir, "wal")
+	entries, err := os.ReadDir(walDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var segs []string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".log") {
+			segs = append(segs, e.Name())
+		}
+	}
+	if len(segs) == 0 {
+		t.Fatal("no WAL segments")
+	}
+	sort.Strings(segs)
+	tail := filepath.Join(walDir, segs[len(segs)-1])
+	data, err := os.ReadFile(tail)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Walk the frames (uint32 len|batchFlag, uint32 crc, data) to find
+	// where the last frame's data begins, then cut into it.
+	const batchFlag = 1 << 31
+	var off, lastData int64
+	for off+8 <= int64(len(data)) {
+		length := int64(binary.LittleEndian.Uint32(data[off:off+4]) &^ batchFlag)
+		if off+8+length > int64(len(data)) {
+			break
+		}
+		lastData = off + 8
+		off += 8 + length
+	}
+	if lastData == 0 {
+		t.Fatal("no complete frame to tear")
+	}
+	cut := lastData + (off-lastData)/2
+	if cut <= lastData {
+		cut = lastData + 1
+	}
+	if err := os.Truncate(tail, cut); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecoverTornDeltaBatch(t *testing.T) {
+	// A crash mid-checkpoint-batch must roll the store back to the
+	// previous complete checkpoint, from which recovery resumes cleanly.
+	dir := t.TempDir()
+	st, err := store.OpenDisk(dir, store.DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := newRuntime(t, SimConfig{Store: st})
+	register(t, rt, parallelSrc)
+	xs := ocr.List(ocr.Num(1), ocr.Num(2), ocr.Num(3), ocr.Num(4))
+	id := start(t, rt, "Par", map[string]ocr.Value{"xs": xs})
+	rt.RunUntil(sim.Time(1500 * time.Millisecond))
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	tearWALTail(t, dir)
+
+	st2, err := store.OpenDisk(dir, store.DiskOptions{})
+	if err != nil {
+		t.Fatalf("reopening torn store: %v", err)
+	}
+	defer st2.Close()
+	rt2 := newRuntime(t, SimConfig{Store: st2})
+	if n, err := rt2.Engine.Recover(); err != nil || n != 1 {
+		t.Fatalf("recover after torn batch = %d, %v", n, err)
+	}
+	rt2.Run()
+	in := finished(t, rt2, id)
+	for i := 0; i < 4; i++ {
+		if got := in.Outputs["doubled"].At(i).AsNum(); got != float64(2*(i+1)) {
+			t.Fatalf("doubled[%d] = %v", i, got)
+		}
+	}
+}
+
+// toggleStore fails Batch while tripped, then recovers when untripped —
+// unlike failingStore it can be disarmed, so tests can provoke a failure
+// window and verify the next successful checkpoint repairs it.
+type toggleStore struct {
+	store.Store
+	mu      sync.Mutex
+	tripped bool
+	fails   int
+}
+
+func (f *toggleStore) set(tripped bool) {
+	f.mu.Lock()
+	f.tripped = tripped
+	f.mu.Unlock()
+}
+
+func (f *toggleStore) Batch(ops []store.Op) error {
+	f.mu.Lock()
+	tripped := f.tripped
+	if tripped {
+		f.fails++
+	}
+	f.mu.Unlock()
+	if tripped {
+		return fmt.Errorf("store full")
+	}
+	return f.Store.Batch(ops)
+}
+
+func TestPersistRemarkAfterBatchFailure(t *testing.T) {
+	// Checkpoints that fail re-mark their records; the next successful
+	// checkpoint must carry them. Fail every batch while Compute finishes,
+	// then let one unrelated SetParameter checkpoint through and verify a
+	// crash+recover restores the full state, Compute's completion included.
+	fs := &toggleStore{Store: store.NewMem()}
+	rt := newRuntime(t, SimConfig{Store: fs})
+	register(t, rt, approvalSrc)
+	id := start(t, rt, "Approval", map[string]ocr.Value{"x": ocr.Num(21)})
+	fs.set(true)
+	rt.RunUntil(sim.Time(5 * time.Second)) // Compute done, Review awaiting
+	if aw := rt.Engine.Awaiting(id); len(aw) != 1 {
+		t.Fatalf("awaiting = %v", aw)
+	}
+	fs.set(false)
+	if fs.fails == 0 {
+		t.Fatal("no batches failed during the window")
+	}
+	if err := rt.Engine.SetParameter(id, "note", ocr.Str("repair")); err != nil {
+		t.Fatal(err)
+	}
+
+	before, _ := rt.Engine.Instance(id)
+	dumpBefore := dumpInstance(t, before)
+	rt.Engine.Crash()
+	if n, err := rt.Engine.Recover(); err != nil || n != 1 {
+		t.Fatalf("recover = %d, %v", n, err)
+	}
+	after, _ := rt.Engine.Instance(id)
+	if dumpAfter := dumpInstance(t, after); dumpAfter != dumpBefore {
+		t.Fatalf("state lost across failed-checkpoint window:\n--- before ---\n%s\n--- after ---\n%s", dumpBefore, dumpAfter)
+	}
+	if err := rt.Engine.Signal(id, "approved", map[string]ocr.Value{
+		"verdict": ocr.Str("ok"), "correction": ocr.Num(0),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rt.Run()
+	in := finished(t, rt, id)
+	if got := in.Outputs["published"].At(0).AsNum(); got != 42 {
+		t.Fatalf("published = %v", in.Outputs["published"])
+	}
+}
+
+func TestPersistHotPathAllocs(t *testing.T) {
+	// Guard the per-activity checkpoint cost: touching one task, snapshot,
+	// marshal and commit must stay allocation-light (the pooled ckpt and
+	// flusher scratch absorb the steady-state cost).
+	rt := newRuntime(t, SimConfig{})
+	register(t, rt, linearSrc)
+	id := start(t, rt, "Linear", map[string]ocr.Value{"a": ocr.Num(1), "b": ocr.Num(2)})
+	e := rt.Engine
+	in, _ := e.Instance(id)
+	mu := e.shardFor(id)
+	sc := in.root
+	ts := sc.Tasks["Add"]
+	run := func() {
+		mu.Lock()
+		e.touchTask(in, sc, ts)
+		e.persist(in)
+		cks := in.pendingCkpts
+		in.pendingCkpts = nil
+		mu.Unlock()
+		for _, ck := range cks {
+			e.flushCkpt(in, ck)
+		}
+	}
+	run() // warm the pools
+	allocs := testing.AllocsPerRun(200, run)
+	// One task record: DTO snapshot, two json.Marshal calls (meta + task),
+	// mem-store value copies. ~15 in practice; 30 leaves headroom without
+	// hiding a regression to per-scope marshaling (hundreds).
+	if allocs > 30 {
+		t.Errorf("persist+flush of one dirty task = %.1f allocs, want <= 30", allocs)
+	}
+}

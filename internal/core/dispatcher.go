@@ -127,7 +127,7 @@ func (e *Engine) dispatch(job sched.Job, node string, ref *queuedRef) bool {
 	ts.Status = TaskRunning
 	ts.Node = node
 	ts.StartedAt = e.now()
-	e.touch(sc)
+	e.touchTask(in, sc, ts)
 	e.emit(Event{Kind: EvTaskDispatched, Instance: in.ID, Scope: sc.ID,
 		Task: ts.Name, Node: node})
 	e.persist(in)
@@ -223,7 +223,7 @@ func (e *Engine) HandleCompletion(c cluster.Completion) {
 	t := sc.Proc.Task(ts.Name)
 	ts.CPUTime += c.CPUTime
 	in.CPU += c.CPUTime
-	e.touch(sc)
+	e.touchTask(in, sc, ts)
 
 	if in.Status == InstanceFailed || in.Status == InstanceDone {
 		e.endTurn(in, mu, false)
@@ -340,6 +340,19 @@ func (e *Engine) Crash() {
 			e.shards[i].Unlock()
 		}
 	}()
+	// With every shard held no new checkpoints can be produced; wait for
+	// in-flight flushes to pass their commit gates so no store batch from
+	// the old incarnation lands after the wipe. (Flushers never need a
+	// shard before their gate advances, so this cannot deadlock.)
+	e.emu.RLock()
+	ins := make([]*Instance, 0, len(e.instances))
+	for _, in := range e.instances {
+		ins = append(ins, in)
+	}
+	e.emu.RUnlock()
+	for _, in := range ins {
+		in.quiesceCkpts()
+	}
 	e.emu.Lock()
 	e.dmu.Lock()
 	e.instances = make(map[string]*Instance)

@@ -43,12 +43,12 @@ func (e *Engine) awaitEvent(in *Instance, sc *scope, t *ocr.Task, ts *taskState)
 	e.dmu.Unlock()
 	if buffered {
 		ts.Status = TaskRunning
-		e.touch(sc)
+		e.touchTask(in, sc, ts)
 		e.finishEventTask(in, sc, t, ts, payload)
 		return
 	}
 	ts.Status = TaskRunning
-	e.touch(sc)
+	e.touchTask(in, sc, ts)
 	e.dmu.Lock()
 	e.waiting[key] = append(e.waiting[key], &queuedRef{inst: in, sc: sc, ts: ts})
 	e.dmu.Unlock()

@@ -116,14 +116,16 @@ func NewLocalRuntime(cfg LocalConfig) (*LocalRuntime, error) {
 	return rt, nil
 }
 
-// Close stops accepting work and halts the snapshot loop. Running workers
-// drain.
+// Close stops accepting work, halts the snapshot loop, and waits for
+// in-flight checkpoint flushes to commit, so the caller may close the
+// store immediately after. Running workers drain.
 func (rt *LocalRuntime) Close() {
 	rt.StopSnapshots()
 	ex := rt.exec
 	ex.mu.Lock()
 	ex.closed = true
 	ex.mu.Unlock()
+	rt.Engine().QuiesceCheckpoints()
 }
 
 // localExec is the worker pool behind LocalRuntime. One slot per "node",

@@ -55,7 +55,7 @@ func (e *Engine) activateTask(in *Instance, sc *scope, t *ocr.Task) {
 	}
 	ts.Inputs = args
 	ts.ReadyAt = e.now()
-	e.touch(sc)
+	e.touchTask(in, sc, ts)
 
 	switch t.Kind {
 	case ocr.KindActivity:
@@ -106,7 +106,7 @@ func (e *Engine) enqueueActivity(in *Instance, sc *scope, t *ocr.Task, ts *taskS
 	e.queue.Push(job)
 	e.queued[id] = &queuedRef{inst: in, sc: sc, ts: ts}
 	e.dmu.Unlock()
-	e.touch(sc)
+	e.touchTask(in, sc, ts)
 	e.emit(Event{Kind: EvTaskReady, Instance: in.ID, Scope: sc.ID, Task: t.Name})
 }
 
@@ -116,7 +116,7 @@ func (e *Engine) spawnBlock(in *Instance, sc *scope, t *ocr.Task, ts *taskState)
 		child := e.newScope(in, sc, t.Name, -1, t.Body)
 		copyWhiteboard(child, sc)
 		ts.ChildWaiting = 1
-		e.touch(sc)
+		e.touchTask(in, sc, ts)
 		e.startScope(in, child)
 		return
 	}
@@ -139,7 +139,7 @@ func (e *Engine) spawnBlock(in *Instance, sc *scope, t *ocr.Task, ts *taskState)
 	ts.ChildWaiting = n
 	ts.Results = make([]ocr.Value, n)
 	ts.OverElems = over.AsList()
-	e.touch(sc)
+	e.touchTask(in, sc, ts)
 	// Create all scopes first (deterministic IDs), then start them:
 	// starting may complete children synchronously for empty bodies.
 	children := make([]*scope, n)
@@ -147,6 +147,7 @@ func (e *Engine) spawnBlock(in *Instance, sc *scope, t *ocr.Task, ts *taskState)
 		child := e.newScope(in, sc, t.Name, i, t.Body)
 		copyWhiteboard(child, sc)
 		child.Whiteboard[t.As] = over.At(i)
+		child.ownWB(t.As, true)
 		children[i] = child
 	}
 	for _, child := range children {
@@ -163,13 +164,16 @@ func (e *Engine) spawnSubprocess(in *Instance, sc *scope, t *ocr.Task, ts *taskS
 		return
 	}
 	child := e.newScope(in, sc, t.Name, -1, tpl.Clone())
+	// Subprocess bodies see only their inputs — no parent inheritance —
+	// so their dynamic record carries the complete whiteboard.
+	child.wbFull = true
 	for _, name := range child.Proc.Inputs {
 		if v, ok := ts.Inputs[name]; ok {
 			child.Whiteboard[name] = v
 		}
 	}
 	ts.ChildWaiting = 1
-	e.touch(sc)
+	e.touchTask(in, sc, ts)
 	e.startScope(in, child)
 }
 
@@ -231,9 +235,9 @@ func (e *Engine) finishTask(in *Instance, sc *scope, t *ocr.Task, ts *taskState,
 		if !ok {
 			v = ocr.Null
 		}
-		sc.Whiteboard[m.To] = v
+		e.setWB(in, sc, m.To, v)
 	}
-	e.touch(sc)
+	e.touchTask(in, sc, ts)
 	e.emit(Event{Kind: EvTaskEnded, Instance: in.ID, Scope: sc.ID, Task: t.Name, Node: ts.Node})
 	e.persist(in)
 
@@ -287,8 +291,9 @@ func (e *Engine) deliverConnector(in *Instance, sc *scope, c ocr.Connector, stat
 	for i, ic := range incoming {
 		if ic.From == c.From && ic.To == c.To && target.ConnIn[i] == connPending &&
 			exprEqual(ic.Cond, c.Cond) {
+			// ConnIn is derived state: recovery re-propagates terminal
+			// tasks' connectors, so no record is dirtied here.
 			target.ConnIn[i] = state
-			e.touch(sc)
 			break
 		}
 	}
@@ -327,7 +332,7 @@ func (e *Engine) markDead(in *Instance, sc *scope, t *ocr.Task) {
 	}
 	ts.Status = TaskDead
 	ts.EndedAt = e.now()
-	e.touch(sc)
+	e.touchTask(in, sc, ts)
 	e.emit(Event{Kind: EvTaskDead, Instance: in.ID, Scope: sc.ID, Task: t.Name})
 	e.propagate(in, sc, t, ts)
 	e.maybeCompleteScope(in, sc)
@@ -357,7 +362,7 @@ func (e *Engine) maybeCompleteScope(in *Instance, sc *scope) {
 		return
 	}
 	sc.Done = true
-	e.touch(sc)
+	e.touchMeta(in, sc)
 
 	if sc.Parent == nil {
 		// Root scope: the instance is done. Outputs and end time are
@@ -374,11 +379,10 @@ func (e *Engine) maybeCompleteScope(in *Instance, sc *scope) {
 		}
 		in.setStatus(InstanceDone)
 		e.emit(Event{Kind: EvInstanceDone, Instance: in.ID})
-		e.persist(in)
+		// archive snapshots the complete final state; OnInstanceDone
+		// fires from endTurn after the flush commits.
 		e.archive(in)
-		if e.opts.OnInstanceDone != nil {
-			e.opts.OnInstanceDone(in)
-		}
+		in.pendingDone = true
 		return
 	}
 
@@ -388,9 +392,11 @@ func (e *Engine) maybeCompleteScope(in *Instance, sc *scope) {
 	switch pt.Kind {
 	case ocr.KindBlock:
 		if pt.Parallel {
+			// Results and ChildWaiting are derived state (recovery
+			// recomputes them from the child scopes), so one child's
+			// completion dirties no parent record.
 			pts.Results[sc.ElemIndex] = elementResult(sc)
 			pts.ChildWaiting--
-			e.touch(parent)
 			if pts.ChildWaiting == 0 {
 				e.finishTask(in, parent, pt, pts, map[string]ocr.Value{
 					"results": ocr.List(pts.Results...),
@@ -446,6 +452,7 @@ func elementResult(sc *scope) ocr.Value {
 func (e *Engine) handleProgramFailure(in *Instance, sc *scope, t *ocr.Task, ts *taskState, cause error) {
 	in.Failures++
 	ts.Attempts++
+	e.touchTask(in, sc, ts)
 	if ts.Attempts <= t.Retries {
 		in.Retries++
 		e.emit(Event{Kind: EvTaskRetried, Instance: in.ID, Scope: sc.ID, Task: t.Name,
@@ -458,7 +465,7 @@ func (e *Engine) handleProgramFailure(in *Instance, sc *scope, t *ocr.Task, ts *
 		// A failed sphere retries by re-running from scratch (its
 		// scopes were already torn down and undone by abortSphere).
 		ts.Status = TaskRunning
-		e.touch(sc)
+		e.touchTask(in, sc, ts)
 		e.spawnBlock(in, sc, t, ts)
 		return
 	}
@@ -506,6 +513,6 @@ func (e *Engine) requeue(in *Instance, sc *scope, t *ocr.Task, ts *taskState) {
 	e.queue.Push(job)
 	e.queued[id] = &queuedRef{inst: in, sc: sc, ts: ts}
 	e.dmu.Unlock()
-	e.touch(sc)
+	e.touchTask(in, sc, ts)
 	e.persist(in)
 }

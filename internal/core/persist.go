@@ -1,10 +1,13 @@
 package core
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"bioopera/internal/ocr"
@@ -17,35 +20,83 @@ import (
 // execution. This allows BioOpera to resume execution of processes after
 // failures occur without losing already completed work."
 //
-// Layout in the instance space:
+// Checkpoints are incremental (§3.3: granularity is the lever that trades
+// durability cost against lost work). The whole-scope record of the first
+// engine generation is split into delta records so one activity completion
+// writes O(1) bytes, not O(scope):
 //
-//	inst/<id>            instance metadata
-//	scope/<id>/<scope>   one record per scope (root scope name is "-")
+//	inst/<id>                 instance metadata (every checkpoint)
+//	scopec/<id>/<scope>       scope-create record: immutable shape, written once
+//	scoped/<id>/<scope>       scope-dynamic record: owned whiteboard entries + done flag
+//	task/<id>/<scope>/<task>  one record per task (root scope encodes as "-")
+//	proc/<id>/<hash>          interned process text, referenced by scope-create
+//	scope/<id>/<scope>        legacy whole-scope record (still read; never written)
 //
-// Completed/failed instances move to the history space under the same
-// keys. Recovery rebuilds instances from these records; activities that
-// were recorded as running (dispatched, no completion recorded) are
-// re-queued, and navigation decisions that were in flight are re-derived
-// by re-propagating the connectors of terminal tasks.
+// A checkpoint is snapshotted into plain DTOs under the shard lock (persist)
+// and marshaled + committed after the lock is released (flushCkpt), ordered
+// by a per-instance commit gate. Each batch is atomic on the store, so a
+// crash mid-checkpoint never leaves a torn view; on the disk store the batch
+// is one group-committed WAL append shared with other instances' checkpoints.
+//
+// Completed/failed instances move to the history space under the same keys.
+// Recovery rebuilds instances from either layout (mixed stores recover
+// cleanly); activities recorded as running are re-queued, and navigation
+// decisions in flight are re-derived by re-propagating the connectors of
+// terminal tasks.
 
 type taskDTO struct {
-	Name         string               `json:"name"`
-	Status       TaskStatus           `json:"status"`
-	Attempts     int                  `json:"attempts,omitempty"`
-	Inputs       map[string]ocr.Value `json:"inputs,omitempty"`
-	Outputs      map[string]ocr.Value `json:"outputs,omitempty"`
-	Node         string               `json:"node,omitempty"`
-	Job          string               `json:"job,omitempty"`
-	AltOf        string               `json:"altOf,omitempty"`
-	ReadyAt      sim.Time             `json:"readyAt,omitempty"`
-	StartedAt    sim.Time             `json:"startedAt,omitempty"`
-	EndedAt      sim.Time             `json:"endedAt,omitempty"`
-	CPUTime      time.Duration        `json:"cpuTime,omitempty"`
-	ChildWaiting int                  `json:"childWaiting,omitempty"`
-	Results      []ocr.Value          `json:"results,omitempty"`
-	OverElems    []ocr.Value          `json:"overElems,omitempty"`
+	Name      string               `json:"name"`
+	Status    TaskStatus           `json:"status"`
+	Attempts  int                  `json:"attempts,omitempty"`
+	Inputs    map[string]ocr.Value `json:"inputs,omitempty"`
+	Outputs   map[string]ocr.Value `json:"outputs,omitempty"`
+	Node      string               `json:"node,omitempty"`
+	Job       string               `json:"job,omitempty"`
+	AltOf     string               `json:"altOf,omitempty"`
+	ReadyAt   sim.Time             `json:"readyAt,omitempty"`
+	StartedAt sim.Time             `json:"startedAt,omitempty"`
+	EndedAt   sim.Time             `json:"endedAt,omitempty"`
+	CPUTime   time.Duration        `json:"cpuTime,omitempty"`
+	// ChildWaiting and Results are derived state: recovery recomputes them
+	// from the child scopes (resumeBlock/resumeChildScope), so new-layout
+	// task records leave them zero — otherwise every child completion of an
+	// n-wide block would re-marshal the parent's O(n) result list. They are
+	// still decoded from legacy whole-scope records.
+	ChildWaiting int         `json:"childWaiting,omitempty"`
+	Results      []ocr.Value `json:"results,omitempty"`
+	// OverElems is written once, when the parallel block expands.
+	OverElems []ocr.Value `json:"overElems,omitempty"`
 }
 
+// scopeCreateDTO is the immutable part of a scope, written exactly once.
+type scopeCreateDTO struct {
+	ID         string `json:"id"`
+	Parent     string `json:"parent"`
+	IsRoot     bool   `json:"isRoot,omitempty"`
+	ParentTask string `json:"parentTask,omitempty"`
+	ElemIndex  int    `json:"elemIndex"`
+	// ProcRef names an interned proc/<inst>/<hash> record; ProcText is the
+	// inline fallback kept for robustness when decoding foreign records.
+	ProcRef  string `json:"procRef,omitempty"`
+	ProcText string `json:"proc,omitempty"`
+}
+
+// scopeDynDTO is the mutable part of a scope. Entries carries only the
+// whiteboard keys this scope owns (explicitly set after creation); unowned
+// keys re-inherit the parent scope's value on recovery, so an n-wide block's
+// children never re-serialize the parent whiteboard they merely inherited.
+// Drop masks keys the parent gained after this scope spawned. Full marks a
+// complete whiteboard (root scopes, subprocess bodies, legacy conversions,
+// archived records).
+type scopeDynDTO struct {
+	Entries map[string]ocr.Value `json:"entries,omitempty"`
+	Drop    []string             `json:"drop,omitempty"`
+	Full    bool                 `json:"full,omitempty"`
+	Done    bool                 `json:"done,omitempty"`
+}
+
+// scopeDTO is the legacy whole-scope record (first engine generation).
+// Recovery still decodes it; the engine never writes it.
 type scopeDTO struct {
 	ID         string               `json:"id"`
 	Parent     string               `json:"parent"`
@@ -76,15 +127,148 @@ type instanceDTO struct {
 
 func metaKey(id string) string { return "inst/" + id }
 
-func scopeKey(id, scopeID string) string {
+// nzScope encodes the root scope's empty ID as "-" in store keys.
+func nzScope(scopeID string) string {
 	if scopeID == "" {
-		scopeID = "-"
+		return "-"
 	}
-	return "scope/" + id + "/" + scopeID
+	return scopeID
 }
 
-// touch marks a scope as needing persistence.
-func (e *Engine) touch(sc *scope) { sc.dirty = true }
+func legacyScopeKey(id, scopeID string) string { return "scope/" + id + "/" + nzScope(scopeID) }
+func scopeCreateKey(id, scopeID string) string { return "scopec/" + id + "/" + nzScope(scopeID) }
+func scopeDynKey(id, scopeID string) string    { return "scoped/" + id + "/" + nzScope(scopeID) }
+func taskKey(id, scopeID, task string) string {
+	return "task/" + id + "/" + nzScope(scopeID) + "/" + task
+}
+func procKey(id, hash string) string { return "proc/" + id + "/" + hash }
+
+// procHash is the content hash interned process text is stored under.
+func procHash(text string) string {
+	h := sha256.Sum256([]byte(text))
+	return hex.EncodeToString(h[:16])
+}
+
+// markDirty indexes a scope in the instance's dirty set. Caller holds the
+// shard lock.
+func (in *Instance) markDirty(sc *scope) {
+	if in.dirty == nil {
+		in.dirty = make(map[string]*scope, 4)
+	}
+	in.dirty[sc.ID] = sc
+}
+
+// touchNew marks a freshly created scope: the next checkpoint writes its
+// create and dynamic records (and interns its process text).
+func (e *Engine) touchNew(in *Instance, sc *scope) {
+	sc.newborn = true
+	sc.dirtyMeta = true
+	in.markDirty(sc)
+}
+
+// touchMeta marks a scope's dynamic record (whiteboard delta, done flag)
+// for rewriting.
+func (e *Engine) touchMeta(in *Instance, sc *scope) {
+	sc.dirtyMeta = true
+	in.markDirty(sc)
+}
+
+// touchTask marks one task record for rewriting — the unit of incremental
+// checkpointing.
+func (e *Engine) touchTask(in *Instance, sc *scope, ts *taskState) {
+	if sc.dirtyTasks == nil {
+		sc.dirtyTasks = make(map[string]*taskState, 4)
+	}
+	sc.dirtyTasks[ts.Name] = ts
+	in.markDirty(sc)
+}
+
+// setWB writes one whiteboard entry through the delta-tracking layer: the
+// key becomes owned by this scope's dynamic record. Live children that
+// inherited the previous value pin their view first (value or absence), so
+// recovery — which re-inherits unowned keys from the parent — still sees
+// exactly what each child observed. Pinning one level suffices: a
+// grandchild inherits from its (now explicit, unchanged) parent.
+func (e *Engine) setWB(in *Instance, sc *scope, key string, v ocr.Value) {
+	//bioopera:allow maprange order-independent: every child pins the same key and nothing is emitted
+	for _, child := range sc.children {
+		e.pinInherited(in, child, key)
+	}
+	sc.Whiteboard[key] = v
+	sc.ownWB(key, true)
+	e.touchMeta(in, sc)
+}
+
+// pinInherited makes a child's view of one inherited whiteboard key
+// explicit before the parent's value changes.
+func (e *Engine) pinInherited(in *Instance, sc *scope, key string) {
+	if sc.wbFull {
+		return // records the complete whiteboard anyway
+	}
+	if _, owned := sc.wbOwn[key]; owned {
+		return
+	}
+	_, has := sc.Whiteboard[key]
+	sc.ownWB(key, has)
+	e.touchMeta(in, sc)
+}
+
+// ckpt is one checkpoint: the dirty subset of an instance's state,
+// snapshotted into DTOs under the shard lock. Marshaling and the store
+// batch run in flushCkpt after the lock is released; ckpts recycle through
+// a pool so the persist hot path stays allocation-light.
+type ckpt struct {
+	seq     uint64
+	archive bool // move everything to the history space
+	meta    instanceDTO
+	creates []createSnap
+	dyns    []dynSnap
+	tasks   []taskSnap
+	procs   []procSnap
+	deletes []string
+	ops     []store.Op // flusher scratch
+}
+
+type createSnap struct {
+	sc  *scope
+	dto scopeCreateDTO
+}
+
+type dynSnap struct {
+	sc  *scope
+	dto scopeDynDTO
+}
+
+type taskSnap struct {
+	sc  *scope
+	ts  *taskState
+	dto taskDTO
+}
+
+type procSnap struct {
+	hash string
+	text string
+}
+
+var ckptPool = sync.Pool{New: func() any { return new(ckpt) }}
+
+func getCkpt() *ckpt { return ckptPool.Get().(*ckpt) }
+
+func putCkpt(ck *ckpt) {
+	clear(ck.creates)
+	clear(ck.dyns)
+	clear(ck.tasks)
+	clear(ck.procs)
+	clear(ck.ops)
+	*ck = ckpt{
+		creates: ck.creates[:0],
+		dyns:    ck.dyns[:0],
+		tasks:   ck.tasks[:0],
+		procs:   ck.procs[:0],
+		ops:     ck.ops[:0],
+	}
+	ckptPool.Put(ck)
+}
 
 // persistError surfaces a checkpoint failure: the event stream gets an
 // EvPersistError and the OnError hook (if any) fires. The engine keeps
@@ -98,13 +282,10 @@ func (e *Engine) persistError(in *Instance, context string, err error) {
 	}
 }
 
-// persist checkpoints the instance metadata and every dirty scope as one
-// atomic store batch, so a crash mid-checkpoint never leaves the store
-// with a torn view of the instance (metadata from the new state, scopes
-// from the old). On the disk store the batch is one group-committed WAL
-// append — one fsync per checkpoint instead of one per record.
-func (e *Engine) persist(in *Instance) {
-	meta := instanceDTO{
+// buildInstanceDTO snapshots instance metadata. Outputs is shared: it is
+// built once at completion and never mutated afterwards.
+func buildInstanceDTO(in *Instance) instanceDTO {
+	return instanceDTO{
 		ID: in.ID, Template: in.Template, Status: in.Status,
 		Priority: in.Priority, Nice: in.Nice,
 		Started: in.Started, Ended: in.Ended,
@@ -112,117 +293,435 @@ func (e *Engine) persist(in *Instance) {
 		Failures: in.Failures, Retries: in.Retries,
 		Outputs: in.Outputs, FailureReason: in.FailureReason,
 	}
-	ops := make([]store.Op, 0, 1+len(in.scopes))
-	if data, err := json.Marshal(meta); err != nil {
-		e.persistError(in, "marshal metadata", err)
-	} else {
-		ops = append(ops, store.Op{Space: store.Instance, Key: metaKey(in.ID), Value: data})
-	}
-	// Deterministic scope order.
-	ids := make([]string, 0, len(in.scopes))
-	for id, sc := range in.scopes {
-		if sc.dirty {
-			ids = append(ids, id)
-		}
-	}
-	sort.Strings(ids)
-	flushed := make([]*scope, 0, len(ids))
-	for _, id := range ids {
-		sc := in.scopes[id]
-		data, err := json.Marshal(scopeToDTO(sc))
-		if err != nil {
-			// The scope stays dirty; a later checkpoint retries it.
-			e.persistError(in, "marshal scope "+scopeKey(in.ID, id), err)
-			continue
-		}
-		ops = append(ops, store.Op{Space: store.Instance, Key: scopeKey(in.ID, id), Value: data})
-		flushed = append(flushed, sc)
-	}
-	if len(ops) == 0 {
-		return
-	}
-	if err := e.opts.Store.Batch(ops); err != nil {
-		e.persistError(in, "checkpoint batch", err)
-		return // everything stays dirty for the next checkpoint
-	}
-	for _, sc := range flushed {
-		sc.dirty = false
-	}
 }
 
-func scopeToDTO(sc *scope) scopeDTO {
-	dto := scopeDTO{
-		ID:         sc.ID,
-		IsRoot:     sc.Parent == nil,
-		ParentTask: sc.ParentTask,
-		ElemIndex:  sc.ElemIndex,
-		ProcText:   sc.procText(),
-		Whiteboard: sc.Whiteboard,
-		Done:       sc.Done,
+// buildTaskDTO snapshots one task. Outputs is copied — an alternative's
+// completion mutates the shared output map after the original's snapshot —
+// while Inputs and OverElems are immutable once set and are shared.
+// ChildWaiting and Results are derived state and are omitted (see taskDTO).
+func buildTaskDTO(ts *taskState) taskDTO {
+	dto := taskDTO{
+		Name: ts.Name, Status: ts.Status, Attempts: ts.Attempts,
+		Inputs: ts.Inputs,
+		Node:   ts.Node, Job: ts.Job, AltOf: ts.AltOf,
+		ReadyAt: ts.ReadyAt, StartedAt: ts.StartedAt, EndedAt: ts.EndedAt,
+		CPUTime:   ts.CPUTime,
+		OverElems: ts.OverElems,
 	}
-	if sc.Parent != nil {
-		dto.Parent = sc.Parent.ID
-	}
-	for _, t := range sc.Proc.Tasks {
-		ts := sc.Tasks[t.Name]
-		dto.Tasks = append(dto.Tasks, taskDTO{
-			Name: ts.Name, Status: ts.Status, Attempts: ts.Attempts,
-			Inputs: ts.Inputs, Outputs: ts.Outputs,
-			Node: ts.Node, Job: ts.Job, AltOf: ts.AltOf,
-			ReadyAt: ts.ReadyAt, StartedAt: ts.StartedAt, EndedAt: ts.EndedAt,
-			CPUTime: ts.CPUTime, ChildWaiting: ts.ChildWaiting,
-			Results: ts.Results, OverElems: ts.OverElems,
-		})
+	if len(ts.Outputs) > 0 {
+		dto.Outputs = make(map[string]ocr.Value, len(ts.Outputs))
+		for k, v := range ts.Outputs {
+			dto.Outputs[k] = v
+		}
 	}
 	return dto
 }
 
-// archive moves a finished instance's records from the instance space to
-// the history space (§3.2: "the data space contains historical information
-// about all processes already executed").
-func (e *Engine) archive(in *Instance) {
-	s := e.opts.Store
-	// Force a final full persist so history is complete.
-	for _, sc := range in.scopes {
-		sc.dirty = true
+// buildDynDTO snapshots a scope's dynamic record. Maps are copied so the
+// flusher can marshal after the shard lock is released.
+func buildDynDTO(sc *scope, full bool) scopeDynDTO {
+	dto := scopeDynDTO{Done: sc.Done}
+	if full || sc.wbFull {
+		dto.Full = true
+		if len(sc.Whiteboard) > 0 {
+			dto.Entries = make(map[string]ocr.Value, len(sc.Whiteboard))
+			for k, v := range sc.Whiteboard {
+				dto.Entries[k] = v
+			}
+		}
+		return dto
 	}
-	e.persist(in)
-	keys := make([]string, 0, 1+len(in.scopes))
-	keys = append(keys, metaKey(in.ID))
+	for k, present := range sc.wbOwn {
+		if present {
+			if dto.Entries == nil {
+				dto.Entries = make(map[string]ocr.Value, len(sc.wbOwn))
+			}
+			dto.Entries[k] = sc.Whiteboard[k]
+		} else {
+			dto.Drop = append(dto.Drop, k)
+		}
+	}
+	sort.Strings(dto.Drop)
+	return dto
+}
+
+// buildCreateDTO snapshots a scope's immutable create record; the process
+// text itself is interned separately under its content hash.
+func buildCreateDTO(sc *scope, procRef string) scopeCreateDTO {
+	dto := scopeCreateDTO{
+		ID:         sc.ID,
+		IsRoot:     sc.Parent == nil,
+		ParentTask: sc.ParentTask,
+		ElemIndex:  sc.ElemIndex,
+		ProcRef:    procRef,
+	}
+	if sc.Parent != nil {
+		dto.Parent = sc.Parent.ID
+	}
+	return dto
+}
+
+// snapshotScope captures one scope's dirty records into the checkpoint and
+// clears its dirty flags. With archive set, everything is captured
+// regardless of dirtiness (proc interning is then handled by archive).
+func (e *Engine) snapshotScope(in *Instance, ck *ckpt, sc *scope, archive bool) {
+	if sc.newborn || archive {
+		text := sc.procText()
+		hash := procHash(text)
+		if !archive {
+			if in.procRefs == nil {
+				in.procRefs = make(map[string]bool, 4)
+			}
+			if !in.procRefs[hash] {
+				in.procRefs[hash] = true
+				ck.procs = append(ck.procs, procSnap{hash: hash, text: text})
+			}
+		}
+		ck.creates = append(ck.creates, createSnap{sc: sc, dto: buildCreateDTO(sc, hash)})
+	}
+	if sc.newborn || sc.dirtyMeta || archive {
+		ck.dyns = append(ck.dyns, dynSnap{sc: sc, dto: buildDynDTO(sc, archive)})
+	}
+	if archive {
+		for _, t := range sc.Proc.Tasks {
+			ts := sc.Tasks[t.Name]
+			ck.tasks = append(ck.tasks, taskSnap{sc: sc, ts: ts, dto: buildTaskDTO(ts)})
+		}
+		clear(sc.dirtyTasks)
+	} else if len(sc.dirtyTasks) > 0 {
+		names := make([]string, 0, len(sc.dirtyTasks))
+		for name := range sc.dirtyTasks {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			ts := sc.dirtyTasks[name]
+			ck.tasks = append(ck.tasks, taskSnap{sc: sc, ts: ts, dto: buildTaskDTO(ts)})
+		}
+		clear(sc.dirtyTasks)
+	}
+	sc.newborn = false
+	sc.dirtyMeta = false
+}
+
+// persist snapshots the instance's dirty state as one checkpoint. The
+// caller holds the shard lock; the snapshot is cheap (DTO structs and map
+// copies for fields that can mutate before the flush) — JSON marshaling
+// and the store batch happen in flushCkpt once endTurn releases the lock.
+func (e *Engine) persist(in *Instance) {
+	ck := getCkpt()
+	ck.seq = in.ckptSeq
+	in.ckptSeq++
+	ck.meta = buildInstanceDTO(in)
+	if len(in.dirty) > 0 {
+		ids := make([]string, 0, len(in.dirty))
+		for id := range in.dirty {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			e.snapshotScope(in, ck, in.dirty[id], false)
+		}
+		clear(in.dirty)
+	}
+	ck.deletes = in.pendingDeletes
+	in.pendingDeletes = nil
+	in.pendingCkpts = append(in.pendingCkpts, ck)
+}
+
+// archive snapshots a finished instance completely and flags the checkpoint
+// to move every record to the history space (§3.2: "the data space contains
+// historical information about all processes already executed"). The bytes
+// are marshaled once by the flusher — no store re-reads — and one atomic
+// batch writes history and clears the instance space, so a crash mid-archive
+// never leaves an instance half in each. Caller holds the shard lock.
+func (e *Engine) archive(in *Instance) {
+	ck := getCkpt()
+	ck.seq = in.ckptSeq
+	in.ckptSeq++
+	ck.archive = true
+	ck.meta = buildInstanceDTO(in)
 	ids := make([]string, 0, len(in.scopes))
 	for id := range in.scopes {
 		ids = append(ids, id)
 	}
 	sort.Strings(ids)
+	seen := make(map[string]bool, 2)
 	for _, id := range ids {
-		keys = append(keys, scopeKey(in.ID, id))
+		sc := in.scopes[id]
+		text := sc.procText()
+		hash := procHash(text)
+		if !seen[hash] {
+			seen[hash] = true
+			ck.procs = append(ck.procs, procSnap{hash: hash, text: text})
+		}
+		e.snapshotScope(in, ck, sc, true)
 	}
-	// One atomic batch moves every record: a crash mid-archive never
-	// leaves an instance half in the instance space, half in history.
-	ops := make([]store.Op, 0, 2*len(keys))
-	for _, key := range keys {
-		v, ok, err := s.Get(store.Instance, key)
+	// Interned texts no live scope references anymore (sphere-aborted
+	// bodies): delete their instance-space records.
+	var orphans []string
+	for hash := range in.procRefs {
+		if !seen[hash] {
+			orphans = append(orphans, hash)
+		}
+	}
+	sort.Strings(orphans)
+	for i, hash := range orphans {
+		orphans[i] = procKey(in.ID, hash)
+	}
+	ck.deletes = append(in.pendingDeletes, orphans...)
+	in.pendingDeletes = nil
+	clear(in.dirty)
+	in.pendingCkpts = append(in.pendingCkpts, ck)
+}
+
+// flushCkpt marshals one checkpoint and commits it to the store — after the
+// shard lock is released. The per-instance commit gate admits checkpoints
+// strictly in sequence order, so a later one can never overtake an earlier
+// one even when the instance's turns end on different goroutines; batches
+// of different instances still overlap and share group-committed fsyncs.
+func (e *Engine) flushCkpt(in *Instance, ck *ckpt) {
+	start := e.now()
+	space := store.Instance
+	if ck.archive {
+		space = store.History
+	}
+	ops := ck.ops[:0]
+	bytes := 0
+	// remarks re-dirty snapshot items whose marshal failed; they run under
+	// the shard lock after the gate advances.
+	var remarks []func()
+
+	if data, err := json.Marshal(ck.meta); err != nil {
+		e.persistError(in, "marshal metadata", err)
+	} else {
+		ops = append(ops, store.Op{Space: space, Key: metaKey(in.ID), Value: data})
+		bytes += len(data)
+	}
+	for _, ps := range ck.procs {
+		ops = append(ops, store.Op{Space: space, Key: procKey(in.ID, ps.hash), Value: []byte(ps.text)})
+		bytes += len(ps.text)
+	}
+	for i := range ck.creates {
+		cs := &ck.creates[i]
+		data, err := json.Marshal(cs.dto)
 		if err != nil {
-			e.persistError(in, "archive read "+key, err)
+			e.persistError(in, "marshal "+scopeCreateKey(in.ID, cs.dto.ID), err)
+			sc := cs.sc
+			remarks = append(remarks, func() { sc.newborn = true; in.markDirty(sc) })
 			continue
 		}
-		if !ok {
+		ops = append(ops, store.Op{Space: space, Key: scopeCreateKey(in.ID, cs.dto.ID), Value: data})
+		bytes += len(data)
+	}
+	for i := range ck.dyns {
+		ds := &ck.dyns[i]
+		data, err := json.Marshal(ds.dto)
+		if err != nil {
+			e.persistError(in, "marshal "+scopeDynKey(in.ID, ds.sc.ID), err)
+			sc := ds.sc
+			remarks = append(remarks, func() { sc.dirtyMeta = true; in.markDirty(sc) })
 			continue
 		}
-		ops = append(ops, store.Op{Space: store.History, Key: key, Value: v})
+		ops = append(ops, store.Op{Space: space, Key: scopeDynKey(in.ID, ds.sc.ID), Value: data})
+		bytes += len(data)
+	}
+	for i := range ck.tasks {
+		snap := &ck.tasks[i]
+		data, err := json.Marshal(snap.dto)
+		if err != nil {
+			e.persistError(in, "marshal "+taskKey(in.ID, snap.sc.ID, snap.dto.Name), err)
+			sc, ts := snap.sc, snap.ts
+			remarks = append(remarks, func() {
+				if sc.dirtyTasks == nil {
+					sc.dirtyTasks = make(map[string]*taskState, 4)
+				}
+				sc.dirtyTasks[ts.Name] = ts
+				in.markDirty(sc)
+			})
+			continue
+		}
+		ops = append(ops, store.Op{Space: space, Key: taskKey(in.ID, snap.sc.ID, snap.dto.Name), Value: data})
+		bytes += len(data)
+	}
+	records := len(ops)
+	if ck.archive {
+		// One pass: the history puts above reuse the marshaled bytes, and
+		// the same batch clears every instance-space record — both record
+		// shapes, so archives of converted legacy instances leave nothing
+		// behind.
+		ops = append(ops, store.Op{Space: store.Instance, Key: metaKey(in.ID), Delete: true})
+		for i := range ck.creates {
+			id := ck.creates[i].dto.ID
+			ops = append(ops,
+				store.Op{Space: store.Instance, Key: scopeCreateKey(in.ID, id), Delete: true},
+				store.Op{Space: store.Instance, Key: scopeDynKey(in.ID, id), Delete: true},
+				store.Op{Space: store.Instance, Key: legacyScopeKey(in.ID, id), Delete: true})
+		}
+		for i := range ck.tasks {
+			ops = append(ops, store.Op{Space: store.Instance, Key: taskKey(in.ID, ck.tasks[i].sc.ID, ck.tasks[i].dto.Name), Delete: true})
+		}
+		for _, ps := range ck.procs {
+			ops = append(ops, store.Op{Space: store.Instance, Key: procKey(in.ID, ps.hash), Delete: true})
+		}
+	}
+	for _, key := range ck.deletes {
 		ops = append(ops, store.Op{Space: store.Instance, Key: key, Delete: true})
 	}
-	if len(ops) == 0 {
-		return
+	ck.ops = ops
+	e.metrics.checkpoint(e.now().Sub(start), bytes, records)
+
+	// Commit through the gate, strictly in sequence order.
+	in.gateMu.Lock()
+	if in.gateCond == nil {
+		in.gateCond = sync.NewCond(&in.gateMu)
 	}
-	if err := s.Batch(ops); err != nil {
-		e.persistError(in, "archive batch", err)
+	for in.ckptDone != ck.seq {
+		in.gateCond.Wait()
+	}
+	var err error
+	if len(ops) > 0 {
+		err = e.opts.Store.Batch(ops)
+	}
+	// The gate always advances — even on error — so Crash's quiesce wait
+	// and later checkpoints never hang on a failed one.
+	in.ckptDone++
+	in.gateCond.Broadcast()
+	in.gateMu.Unlock()
+
+	if err != nil {
+		e.persistError(in, "checkpoint batch", err)
+		e.remarkCkpt(in, ck)
+	} else if len(remarks) > 0 {
+		e.applyRemarks(in, remarks)
+	}
+	putCkpt(ck)
+}
+
+// applyRemarks re-dirties snapshot items under the shard lock so the next
+// checkpoint retries them. Runs only on (cold) failure paths, strictly
+// after the commit gate advanced — taking the shard here while Crash holds
+// every shard waiting on the gate would otherwise deadlock.
+func (e *Engine) applyRemarks(in *Instance, remarks []func()) {
+	mu := e.shardFor(in.ID)
+	mu.Lock()
+	for _, f := range remarks {
+		f()
+	}
+	mu.Unlock()
+}
+
+// remarkCkpt re-dirties everything a failed batch carried: scopes still
+// live re-mark their records, interned texts forget their hashes so a
+// later create re-writes them, and pending deletes are re-queued.
+func (e *Engine) remarkCkpt(in *Instance, ck *ckpt) {
+	mu := e.shardFor(in.ID)
+	mu.Lock()
+	live := func(sc *scope) bool { return in.scopes[sc.ID] == sc }
+	for i := range ck.creates {
+		if sc := ck.creates[i].sc; live(sc) {
+			sc.newborn = true
+			in.markDirty(sc)
+		}
+	}
+	for i := range ck.dyns {
+		if sc := ck.dyns[i].sc; live(sc) {
+			sc.dirtyMeta = true
+			in.markDirty(sc)
+		}
+	}
+	for i := range ck.tasks {
+		sc, ts := ck.tasks[i].sc, ck.tasks[i].ts
+		if !live(sc) {
+			continue
+		}
+		if sc.dirtyTasks == nil {
+			sc.dirtyTasks = make(map[string]*taskState, 4)
+		}
+		sc.dirtyTasks[ts.Name] = ts
+		in.markDirty(sc)
+	}
+	for _, ps := range ck.procs {
+		delete(in.procRefs, ps.hash)
+	}
+	in.pendingDeletes = append(in.pendingDeletes, ck.deletes...)
+	mu.Unlock()
+}
+
+// quiesceCkpts blocks until every in-flight checkpoint flush of the
+// instance has passed the commit gate. Callers must guarantee no new
+// checkpoints are being produced (Crash holds every shard) or must not
+// care about later turns (quiesceInstance synchronizes on the shard
+// first, so all checkpoints of already-completed turns are covered).
+func (in *Instance) quiesceCkpts() {
+	in.gateMu.Lock()
+	if in.gateCond == nil {
+		in.gateCond = sync.NewCond(&in.gateMu)
+	}
+	for in.ckptDone != in.ckptSeq {
+		in.gateCond.Wait()
+	}
+	in.gateMu.Unlock()
+}
+
+// quiesceInstance blocks until every checkpoint produced by turns of in
+// that completed before the call has cleared its commit gate. Taking the
+// shard synchronizes with any turn still inside its critical section, so
+// that turn's checkpoint sequence is visible to the gate wait; the flush
+// itself runs lock-free after the turn, so this cannot deadlock.
+//
+// An instance's terminal status becomes observable inside its final turn,
+// before that turn's archive batch flushes — anyone who sees Done/Failed
+// and then closes the store must quiesce in between (Wait does).
+func (e *Engine) quiesceInstance(in *Instance) {
+	mu := e.shardFor(in.ID)
+	mu.Lock()
+	mu.Unlock()
+	in.quiesceCkpts()
+}
+
+// QuiesceCheckpoints blocks until every checkpoint produced by turns that
+// completed before the call has cleared its commit gate, across all
+// instances. Runtime Close paths call it so the caller can close the
+// store without racing an in-flight flush.
+func (e *Engine) QuiesceCheckpoints() {
+	e.emu.RLock()
+	ins := make([]*Instance, 0, len(e.instances))
+	for _, in := range e.instances {
+		ins = append(ins, in)
+	}
+	e.emu.RUnlock()
+	for _, in := range ins {
+		e.quiesceInstance(in)
 	}
 }
 
+// scopeRec collects one scope's persisted records during recovery: the
+// legacy whole-scope record (if any) is the base, overlaid by the delta
+// records.
+type scopeRec struct {
+	scopeID string
+	legacy  *scopeDTO
+	create  *scopeCreateDTO
+	dyn     *scopeDynDTO
+	tasks   map[string]taskDTO
+}
+
+// splitInstKey splits "<inst>/<rest>" (instance IDs contain no '/').
+func splitInstKey(rest string) (instID, sub string, ok bool) {
+	slash := strings.IndexByte(rest, '/')
+	if slash < 0 {
+		return "", "", false
+	}
+	return rest[:slash], rest[slash+1:], true
+}
+
 // Recover rebuilds all unfinished instances from the store after a server
-// restart or crash. Activities recorded as running are treated as lost
-// and re-queued; in-flight navigation is re-derived. It returns the
+// restart or crash. Both record layouts are understood — a mixed store
+// (legacy whole-scope records alongside delta records) recovers cleanly,
+// and legacy scopes are converted to the delta layout by their first
+// post-recovery checkpoint. Activities recorded as running are treated as
+// lost and re-queued; in-flight navigation is re-derived. It returns the
 // number of instances recovered.
 func (e *Engine) Recover() (int, error) {
 	kvs, err := e.opts.Store.List(store.Instance)
@@ -230,7 +729,21 @@ func (e *Engine) Recover() (int, error) {
 		return 0, err
 	}
 	metas := map[string]instanceDTO{}
-	scopes := map[string][]scopeDTO{} // instance ID → scope records
+	recs := map[string]map[string]*scopeRec{} // instance ID → scope ID → records
+	procs := map[string]map[string]string{}   // instance ID → hash → text
+	rec := func(instID, scopeID string) *scopeRec {
+		m := recs[instID]
+		if m == nil {
+			m = make(map[string]*scopeRec)
+			recs[instID] = m
+		}
+		r := m[scopeID]
+		if r == nil {
+			r = &scopeRec{scopeID: scopeID, tasks: make(map[string]taskDTO)}
+			m[scopeID] = r
+		}
+		return r
+	}
 	for _, kv := range kvs {
 		switch {
 		case strings.HasPrefix(kv.Key, "inst/"):
@@ -240,17 +753,71 @@ func (e *Engine) Recover() (int, error) {
 			}
 			metas[dto.ID] = dto
 		case strings.HasPrefix(kv.Key, "scope/"):
-			rest := strings.TrimPrefix(kv.Key, "scope/")
-			slash := strings.IndexByte(rest, '/')
-			if slash < 0 {
+			instID, _, ok := splitInstKey(strings.TrimPrefix(kv.Key, "scope/"))
+			if !ok {
 				continue
 			}
-			instID := rest[:slash]
 			var dto scopeDTO
 			if err := json.Unmarshal(kv.Value, &dto); err != nil {
 				return 0, fmt.Errorf("core: corrupt scope record %s: %w", kv.Key, err)
 			}
-			scopes[instID] = append(scopes[instID], dto)
+			rec(instID, dto.ID).legacy = &dto
+		case strings.HasPrefix(kv.Key, "scopec/"):
+			instID, _, ok := splitInstKey(strings.TrimPrefix(kv.Key, "scopec/"))
+			if !ok {
+				continue
+			}
+			var dto scopeCreateDTO
+			if err := json.Unmarshal(kv.Value, &dto); err != nil {
+				return 0, fmt.Errorf("core: corrupt scope-create record %s: %w", kv.Key, err)
+			}
+			rec(instID, dto.ID).create = &dto
+		case strings.HasPrefix(kv.Key, "scoped/"):
+			instID, sub, ok := splitInstKey(strings.TrimPrefix(kv.Key, "scoped/"))
+			if !ok {
+				continue
+			}
+			var dto scopeDynDTO
+			if err := json.Unmarshal(kv.Value, &dto); err != nil {
+				return 0, fmt.Errorf("core: corrupt scope-dynamic record %s: %w", kv.Key, err)
+			}
+			scopeID := sub
+			if scopeID == "-" {
+				scopeID = ""
+			}
+			rec(instID, scopeID).dyn = &dto
+		case strings.HasPrefix(kv.Key, "task/"):
+			instID, sub, ok := splitInstKey(strings.TrimPrefix(kv.Key, "task/"))
+			if !ok {
+				continue
+			}
+			// The task name follows the last '/': scope IDs may nest
+			// ("A/B[3]"), task names cannot contain '/'.
+			slash := strings.LastIndexByte(sub, '/')
+			if slash < 0 {
+				continue
+			}
+			scopeID, task := sub[:slash], sub[slash+1:]
+			if scopeID == "-" {
+				scopeID = ""
+			}
+			var dto taskDTO
+			if err := json.Unmarshal(kv.Value, &dto); err != nil {
+				return 0, fmt.Errorf("core: corrupt task record %s: %w", kv.Key, err)
+			}
+			if dto.Name == "" {
+				dto.Name = task
+			}
+			rec(instID, scopeID).tasks[dto.Name] = dto
+		case strings.HasPrefix(kv.Key, "proc/"):
+			instID, hash, ok := splitInstKey(strings.TrimPrefix(kv.Key, "proc/"))
+			if !ok {
+				continue
+			}
+			if procs[instID] == nil {
+				procs[instID] = make(map[string]string)
+			}
+			procs[instID][hash] = string(kv.Value)
 		}
 	}
 
@@ -259,6 +826,12 @@ func (e *Engine) Recover() (int, error) {
 		ids = append(ids, id)
 	}
 	sort.Strings(ids)
+
+	// Parsed processes are cached by content across the whole pass, so the
+	// N children of a parallel block (and converted legacy scopes carrying
+	// identical body text) parse once, not N times. Processes are read-only
+	// during navigation, so sharing is safe.
+	procCache := make(map[string]*ocr.Process)
 
 	recovered := 0
 	for _, id := range ids {
@@ -270,7 +843,7 @@ func (e *Engine) Recover() (int, error) {
 		// pick up the requeued work serialize against the rebuild.
 		mu := e.shardFor(id)
 		mu.Lock()
-		in, err := e.rebuildInstance(meta, scopes[id])
+		in, err := e.rebuildInstance(meta, recs[id], procs[id], procCache)
 		if err != nil {
 			mu.Unlock()
 			return recovered, err
@@ -287,6 +860,12 @@ func (e *Engine) Recover() (int, error) {
 		recovered++
 		e.emit(Event{Kind: EvServerRecovered, Instance: id,
 			Detail: fmt.Sprintf("status=%s", in.Status)})
+		// Checkpoint the rebuilt state: legacy scopes convert to the delta
+		// layout here (their whole-scope records are deleted in the same
+		// atomic batch that writes the replacement records).
+		if len(in.dirty) > 0 || len(in.pendingDeletes) > 0 {
+			e.persist(in)
+		}
 		e.endTurn(in, mu, false)
 	}
 	e.Pump()
@@ -295,7 +874,7 @@ func (e *Engine) Recover() (int, error) {
 
 // rebuildInstance reconstructs one instance from its records and resumes
 // navigation.
-func (e *Engine) rebuildInstance(meta instanceDTO, scopeDTOs []scopeDTO) (*Instance, error) {
+func (e *Engine) rebuildInstance(meta instanceDTO, recMap map[string]*scopeRec, procTexts map[string]string, procCache map[string]*ocr.Process) (*Instance, error) {
 	in := &Instance{
 		ID: meta.ID, Template: meta.Template,
 		Priority: meta.Priority, Nice: meta.Nice,
@@ -306,43 +885,130 @@ func (e *Engine) rebuildInstance(meta instanceDTO, scopeDTOs []scopeDTO) (*Insta
 		scopes: make(map[string]*scope),
 	}
 	in.setStatus(meta.Status)
+	in.procRefs = make(map[string]bool, len(procTexts))
+	for hash := range procTexts {
+		in.procRefs[hash] = true
+	}
 	// Sort records so parents come before children (shorter IDs first;
-	// root "" is shortest).
-	sort.Slice(scopeDTOs, func(i, j int) bool {
-		if len(scopeDTOs[i].ID) != len(scopeDTOs[j].ID) {
-			return len(scopeDTOs[i].ID) < len(scopeDTOs[j].ID)
+	// root "" is shortest) — children re-inherit whiteboard values from
+	// the already-rebuilt parent.
+	scopeRecs := make([]*scopeRec, 0, len(recMap))
+	for _, r := range recMap {
+		scopeRecs = append(scopeRecs, r)
+	}
+	sort.Slice(scopeRecs, func(i, j int) bool {
+		if len(scopeRecs[i].scopeID) != len(scopeRecs[j].scopeID) {
+			return len(scopeRecs[i].scopeID) < len(scopeRecs[j].scopeID)
 		}
-		return scopeDTOs[i].ID < scopeDTOs[j].ID
+		return scopeRecs[i].scopeID < scopeRecs[j].scopeID
 	})
-	for _, dto := range scopeDTOs {
-		proc, err := ocr.ParseProcess(dto.ProcText)
+	parse := func(text, where string) (*ocr.Process, error) {
+		if p, ok := procCache[text]; ok {
+			return p, nil
+		}
+		p, err := ocr.ParseProcess(text)
 		if err != nil {
-			return nil, fmt.Errorf("core: scope %s/%s has invalid process text: %w", meta.ID, dto.ID, err)
+			return nil, fmt.Errorf("core: scope %s has invalid process text: %w", where, err)
+		}
+		procCache[text] = p
+		return p, nil
+	}
+	for _, r := range scopeRecs {
+		where := meta.ID + "/" + nzScope(r.scopeID)
+		// Shape: the delta create record wins; legacy is the fallback.
+		var (
+			text       string
+			parentID   string
+			isRoot     bool
+			parentTask string
+			elemIndex  int
+		)
+		switch {
+		case r.create != nil:
+			parentID, isRoot = r.create.Parent, r.create.IsRoot
+			parentTask, elemIndex = r.create.ParentTask, r.create.ElemIndex
+			switch {
+			case r.create.ProcRef != "":
+				var ok bool
+				text, ok = procTexts[r.create.ProcRef]
+				if !ok {
+					return nil, fmt.Errorf("core: scope %s references missing process text %s", where, r.create.ProcRef)
+				}
+			case r.create.ProcText != "":
+				text = r.create.ProcText
+			default:
+				return nil, fmt.Errorf("core: scope %s has no process text", where)
+			}
+		case r.legacy != nil:
+			parentID, isRoot = r.legacy.Parent, r.legacy.IsRoot
+			parentTask, elemIndex = r.legacy.ParentTask, r.legacy.ElemIndex
+			text = r.legacy.ProcText
+		default:
+			return nil, fmt.Errorf("core: scope %s has no create record", where)
+		}
+		proc, err := parse(text, where)
+		if err != nil {
+			return nil, err
 		}
 		sc := &scope{
-			ID:         dto.ID,
+			ID:         r.scopeID,
 			Proc:       proc,
-			ParentTask: dto.ParentTask,
-			ElemIndex:  dto.ElemIndex,
-			Whiteboard: dto.Whiteboard,
+			ParentTask: parentTask,
+			ElemIndex:  elemIndex,
+			Whiteboard: make(map[string]ocr.Value),
 			Tasks:      make(map[string]*taskState),
-			Done:       dto.Done,
 			children:   make(map[string]*scope),
 		}
-		if sc.Whiteboard == nil {
-			sc.Whiteboard = make(map[string]ocr.Value)
-		}
-		if !dto.IsRoot {
-			parent := in.scopes[dto.Parent]
+		if !isRoot {
+			parent := in.scopes[parentID]
 			if parent == nil {
-				return nil, fmt.Errorf("core: scope %s/%s has missing parent %q", meta.ID, dto.ID, dto.Parent)
+				return nil, fmt.Errorf("core: scope %s has missing parent %q", where, parentID)
 			}
 			sc.Parent = parent
 			parent.children[sc.ID] = sc
 		} else {
 			in.root = sc
 		}
-		for _, td := range dto.Tasks {
+		// Whiteboard: the dynamic record's owned entries overlay what the
+		// scope inherits from its parent; Full records (and legacy ones)
+		// are self-contained.
+		switch {
+		case r.dyn != nil:
+			sc.Done = r.dyn.Done
+			if r.dyn.Full {
+				sc.wbFull = true
+				for k, v := range r.dyn.Entries {
+					sc.Whiteboard[k] = v
+				}
+			} else {
+				if sc.Parent != nil {
+					for k, v := range sc.Parent.Whiteboard {
+						sc.Whiteboard[k] = v
+					}
+				}
+				for _, k := range r.dyn.Drop {
+					delete(sc.Whiteboard, k)
+					sc.ownWB(k, false)
+				}
+				entries := make([]string, 0, len(r.dyn.Entries))
+				for k := range r.dyn.Entries {
+					entries = append(entries, k)
+				}
+				sort.Strings(entries)
+				for _, k := range entries {
+					sc.Whiteboard[k] = r.dyn.Entries[k]
+					sc.ownWB(k, true)
+				}
+			}
+		case r.legacy != nil:
+			sc.Done = r.legacy.Done
+			sc.wbFull = true
+			for k, v := range r.legacy.Whiteboard {
+				sc.Whiteboard[k] = v
+			}
+		}
+		// Tasks: legacy records are the base, delta task records overlay.
+		applyTask := func(td taskDTO) {
 			sc.Tasks[td.Name] = &taskState{
 				Name: td.Name, Status: td.Status, Attempts: td.Attempts,
 				Inputs: td.Inputs, Outputs: td.Outputs,
@@ -353,7 +1019,20 @@ func (e *Engine) rebuildInstance(meta instanceDTO, scopeDTOs []scopeDTO) (*Insta
 				ConnIn: make([]connState, len(proc.Incoming(td.Name))),
 			}
 		}
-		// Tasks present in the process but missing from the record
+		if r.legacy != nil {
+			for _, td := range r.legacy.Tasks {
+				applyTask(td)
+			}
+		}
+		taskNames := make([]string, 0, len(r.tasks))
+		for name := range r.tasks {
+			taskNames = append(taskNames, name)
+		}
+		sort.Strings(taskNames)
+		for _, name := range taskNames {
+			applyTask(r.tasks[name])
+		}
+		// Tasks present in the process but missing from the records
 		// (older snapshot) start inactive.
 		for _, t := range proc.Tasks {
 			if _, ok := sc.Tasks[t.Name]; !ok {
@@ -362,6 +1041,19 @@ func (e *Engine) rebuildInstance(meta instanceDTO, scopeDTOs []scopeDTO) (*Insta
 					ConnIn: make([]connState, len(proc.Incoming(t.Name))),
 				}
 			}
+		}
+		if r.legacy != nil && r.create == nil {
+			// Legacy-only scope: convert it. The first checkpoint writes
+			// the full delta-record set and deletes the whole-scope record
+			// in the same atomic batch.
+			sc.wbFull = true
+			e.touchNew(in, sc)
+			for _, t := range sc.Proc.Tasks {
+				if ts := sc.Tasks[t.Name]; ts.Status != TaskInactive || ts.Inputs != nil {
+					e.touchTask(in, sc, ts)
+				}
+			}
+			in.pendingDeletes = append(in.pendingDeletes, legacyScopeKey(in.ID, sc.ID))
 		}
 		in.scopes[sc.ID] = sc
 	}
@@ -464,7 +1156,7 @@ func (e *Engine) resumeScope(in *Instance, sc *scope) {
 			}
 		}
 	}
-	e.touch(sc)
+	e.touchMeta(in, sc)
 }
 
 // resumeChildScope handles a Running block/subprocess task whose single
@@ -488,12 +1180,16 @@ func (e *Engine) resumeChildScope(in *Instance, sc *scope, t *ocr.Task, ts *task
 			}
 		}
 		e.finishTask(in, sc, t, ts, outputs)
+		return
 	}
+	// Derived state: one live child (task records do not persist it).
+	ts.ChildWaiting = 1
 }
 
 // resumeBlock recreates block child scopes whose records were lost (crash
 // between block activation and child persistence) and redelivers results
 // from children that completed but whose delivery was not persisted.
+// ChildWaiting and Results are recomputed here — they are not persisted.
 func (e *Engine) resumeBlock(in *Instance, sc *scope, t *ocr.Task, ts *taskState) {
 	if !t.Parallel {
 		e.resumeChildScope(in, sc, t, ts, func() {
@@ -530,7 +1226,6 @@ func (e *Engine) resumeBlock(in *Instance, sc *scope, t *ocr.Task, ts *taskState
 		waiting++
 	}
 	ts.ChildWaiting = waiting
-	e.touch(sc)
 	if waiting == 0 {
 		e.finishTask(in, sc, t, ts, map[string]ocr.Value{
 			"results": ocr.List(ts.Results...),
@@ -541,6 +1236,7 @@ func (e *Engine) resumeBlock(in *Instance, sc *scope, t *ocr.Task, ts *taskState
 		child := e.newScope(in, sc, t.Name, i, t.Body)
 		copyWhiteboard(child, sc)
 		child.Whiteboard[t.As] = ts.OverElems[i]
+		child.ownWB(t.As, true)
 		e.startScope(in, child)
 	}
 }

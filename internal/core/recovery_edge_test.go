@@ -29,8 +29,8 @@ func TestRecoverCorruptScopeRecord(t *testing.T) {
 	register(t, rt, linearSrc)
 	id := start(t, rt, "Linear", map[string]ocr.Value{"a": ocr.Num(1), "b": ocr.Num(1)})
 	rt.RunUntil(sim.Time(500 * time.Millisecond))
-	// Corrupt the root scope record, then crash+recover.
-	st.Put(store.Instance, "scope/"+id+"/-", []byte("oops"))
+	// Corrupt the root scope's create record, then crash+recover.
+	st.Put(store.Instance, "scopec/"+id+"/-", []byte("oops"))
 	rt.Engine.Crash()
 	if _, err := rt.Engine.Recover(); err == nil {
 		t.Fatal("corrupt scope record accepted")
@@ -43,7 +43,14 @@ func TestRecoverMissingRootScope(t *testing.T) {
 	register(t, rt, linearSrc)
 	id := start(t, rt, "Linear", map[string]ocr.Value{"a": ocr.Num(1), "b": ocr.Num(1)})
 	rt.RunUntil(sim.Time(500 * time.Millisecond))
-	st.Delete(store.Instance, "scope/"+id+"/-")
+	// Drop every record of the root scope (create, dynamic, tasks) so the
+	// instance metadata survives with no scope tree at all.
+	kvs, _ := st.List(store.Instance)
+	for _, kv := range kvs {
+		if kv.Key != "inst/"+id {
+			st.Delete(store.Instance, kv.Key)
+		}
+	}
 	rt.Engine.Crash()
 	if _, err := rt.Engine.Recover(); err == nil || !strings.Contains(err.Error(), "root scope") {
 		t.Fatalf("missing root scope: err = %v", err)

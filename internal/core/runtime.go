@@ -110,6 +110,10 @@ func (rb *RuntimeBase) Wait(id string, timeout time.Duration) (*Instance, error)
 		// Check after capturing gen: a transition after this check bumps
 		// gen, so the sleep below cannot miss it.
 		if st := in.statusNow(); st == InstanceDone || st == InstanceFailed {
+			// The status flips inside the final turn, before that turn's
+			// archive checkpoint flushes; drain the gate so the caller
+			// reads the archived state (and may close the store).
+			eng.quiesceInstance(in)
 			return in, nil
 		}
 		if expired.Load() {

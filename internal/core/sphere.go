@@ -5,7 +5,6 @@ import (
 	"sort"
 
 	"bioopera/internal/ocr"
-	"bioopera/internal/store"
 )
 
 // This file implements spheres of atomicity (§3.1: OCR "supports advanced
@@ -42,7 +41,7 @@ func enclosingSphere(sc *scope) (*scope, *ocr.Task, *taskState) {
 func (e *Engine) failTask(in *Instance, sc *scope, t *ocr.Task, ts *taskState, cause error) {
 	ts.Status = TaskFailed
 	ts.EndedAt = e.now()
-	e.touch(sc)
+	e.touchTask(in, sc, ts)
 	e.emit(Event{Kind: EvTaskFailed, Instance: in.ID, Scope: sc.ID, Task: t.Name, Detail: cause.Error()})
 	if sphereSc, sphereTask, sphereTs := enclosingSphere(sc); sphereSc != nil {
 		e.abortSphere(in, sphereSc, sphereTask, sphereTs,
@@ -142,14 +141,22 @@ func (e *Engine) abortSphere(in *Instance, sc *scope, t *ocr.Task, ts *taskState
 		e.runUndo(in, u.sc, u.t, u.ts)
 	}
 
-	// 4. Discard the sphere's scopes (memory and store).
+	// 4. Discard the sphere's scopes. The store deletes ride the next
+	// checkpoint batch — the same atomic write that persists the block
+	// reset below — so a crash can never observe the block reset with the
+	// old child records still present (which recovery would resurrect).
+	// Interned process texts are left in place: the text is shared (a
+	// sphere retry re-creates scopes with the same hash) and archive
+	// collects unreferenced ones.
 	for _, s := range subtree {
 		delete(in.scopes, s.ID)
-		if err := e.opts.Store.Delete(store.Instance, scopeKey(in.ID, s.ID)); err != nil {
-			// The scope is gone from memory either way; surface the
-			// orphaned record so the operator knows recovery may resurrect
-			// it.
-			e.persistError(in, "delete scope "+scopeKey(in.ID, s.ID), err)
+		delete(in.dirty, s.ID)
+		in.pendingDeletes = append(in.pendingDeletes,
+			scopeCreateKey(in.ID, s.ID),
+			scopeDynKey(in.ID, s.ID),
+			legacyScopeKey(in.ID, s.ID))
+		for _, bt := range s.Proc.Tasks {
+			in.pendingDeletes = append(in.pendingDeletes, taskKey(in.ID, s.ID, bt.Name))
 		}
 		if s.Parent != nil {
 			delete(s.Parent.children, s.ID)
@@ -164,7 +171,7 @@ func (e *Engine) abortSphere(in *Instance, sc *scope, t *ocr.Task, ts *taskState
 	ts.OverElems = nil
 	ts.ChildWaiting = 0
 	ts.Status = TaskRunning
-	e.touch(sc)
+	e.touchTask(in, sc, ts)
 	e.persist(in)
 	e.handleProgramFailure(in, sc, t, ts, cause)
 }

@@ -16,6 +16,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -152,9 +153,39 @@ type scope struct {
 	Done       bool
 	children   map[string]*scope
 
-	dirty     bool   // needs persisting
+	// Delta dirty tracking (§3.3: checkpoint granularity). The unit of
+	// persistence is one record, not the whole scope: newborn marks the
+	// immutable create record (written once), dirtyMeta the compact
+	// dynamic record (whiteboard delta, done flag), and dirtyTasks the
+	// individual task records — completing one child of an n-wide block
+	// re-marshals one task, not n.
+	newborn    bool                  // create + dynamic records never written
+	dirtyMeta  bool                  // dynamic record needs rewriting
+	dirtyTasks map[string]*taskState // task records needing rewriting
+
+	// wbOwn tracks whiteboard keys owned by this scope's dynamic record:
+	// true = the record carries an explicit value, false = the key is
+	// masked from parent inheritance (the parent gained it after this
+	// scope spawned). Keys absent from wbOwn re-inherit the parent's
+	// value on recovery. wbFull scopes (root, subprocess bodies, legacy
+	// conversions) record the complete whiteboard instead.
+	wbOwn  map[string]bool
+	wbFull bool
+
 	defunct   bool   // torn down by a sphere abort; ignore its completions
 	procCache string // cached OCR text of Proc
+}
+
+// ownWB marks one whiteboard key as owned by this scope's dynamic record
+// (present=false masks it from inheritance instead).
+func (s *scope) ownWB(key string, present bool) {
+	if s.wbFull {
+		return
+	}
+	if s.wbOwn == nil {
+		s.wbOwn = make(map[string]bool, 4)
+	}
+	s.wbOwn[key] = present
 }
 
 // procText returns (and caches) the scope's process in OCR text form —
@@ -216,6 +247,25 @@ type Instance struct {
 	// engine has no metrics registry).
 	turnStart sim.Time
 	turnLive  bool
+
+	// Checkpoint pipeline state, guarded by the shard lock. persist
+	// snapshots the dirty set into pendingCkpts; endTurn drains them to
+	// the flusher after releasing the shard, so JSON marshaling and the
+	// store batch never run inside the critical section.
+	dirty          map[string]*scope // scopes with unpersisted changes
+	pendingCkpts   []*ckpt           // snapshots awaiting flush, in seq order
+	ckptSeq        uint64            // next checkpoint sequence number
+	pendingDeletes []string          // instance-space keys to delete at next flush
+	procRefs       map[string]bool   // process-text hashes already interned
+	pendingDone    bool              // fire OnInstanceDone after this turn's flush
+
+	// Commit gate: admits this instance's checkpoint batches strictly in
+	// sequence order once they leave the shard's critical section, so a
+	// later checkpoint can never overtake an earlier one. gateCond is
+	// created lazily under gateMu.
+	gateMu   sync.Mutex
+	gateCond *sync.Cond
+	ckptDone uint64 // checkpoints committed (== seq of the next admitted)
 
 	// Accounting (§5.2 measurements).
 	Activities int           // |A|: executed activity completions

@@ -141,9 +141,12 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 // Addr returns the bound listen address (handy with ":0").
 func (rt *Runtime) Addr() string { return rt.Server.Addr() }
 
-// Close halts the snapshot loop and tears down the server and every worker
-// connection, returning the listener's close error.
+// Close halts the snapshot loop, tears down the server and every worker
+// connection, and waits for in-flight checkpoint flushes to commit (so
+// the caller may close the store), returning the listener's close error.
 func (rt *Runtime) Close() error {
 	rt.StopSnapshots()
-	return rt.Server.Close()
+	err := rt.Server.Close()
+	rt.Engine().QuiesceCheckpoints()
+	return err
 }

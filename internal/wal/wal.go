@@ -64,6 +64,18 @@ const DefaultSegmentSize = 4 << 20
 // torn write.
 var ErrCorrupt = errors.New("wal: corrupt record")
 
+// framePool recycles AppendBatch's frame-encoding buffer. The buffer lives
+// only between frame assembly and the file write, so pooling it removes the
+// per-append allocation from the engine's checkpoint hot path.
+var framePool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 4096)
+	return &b
+}}
+
+// framePoolMax is the largest buffer the pool retains: an occasional huge
+// batch should not pin its buffer for the rest of the process's life.
+const framePoolMax = 1 << 20
+
 // Record is one entry read back from the log.
 type Record struct {
 	Seq  uint64 // 1-based, dense
@@ -279,7 +291,8 @@ func (l *Log) AppendBatch(records [][]byte) (uint64, error) {
 		}
 		total += headerLen + len(data)
 	}
-	buf := make([]byte, 0, total)
+	bufp := framePool.Get().(*[]byte)
+	buf := (*bufp)[:0]
 	var hdr [headerLen]byte
 	for i, data := range records {
 		length := uint32(len(data))
@@ -291,7 +304,14 @@ func (l *Log) AppendBatch(records [][]byte) (uint64, error) {
 		buf = append(buf, hdr[:]...)
 		buf = append(buf, data...)
 	}
-	if _, err := l.file.Write(buf); err != nil {
+	_, err := l.file.Write(buf)
+	// Return the buffer before the error check (no defer: the closure
+	// would allocate on every append) — nothing below reads it.
+	*bufp = buf
+	if cap(buf) <= framePoolMax {
+		framePool.Put(bufp)
+	}
+	if err != nil {
 		return 0, fmt.Errorf("wal: %w", err)
 	}
 	if !l.opts.NoSync {

@@ -447,3 +447,32 @@ func TestCrashMidBatchAtEveryByte(t *testing.T) {
 		l2.Close()
 	}
 }
+
+func TestAppendAllocs(t *testing.T) {
+	// The frame encode buffer is pooled: steady-state appends must not
+	// allocate (NoSync isolates the encode path from fsync syscalls).
+	l, err := Open(t.TempDir(), Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	data := make([]byte, 256)
+	batch := [][]byte{data, data, data, data}
+	if _, err := l.Append(data); err != nil {
+		t.Fatal(err) // warm the pool
+	}
+	if got := testing.AllocsPerRun(100, func() {
+		if _, err := l.Append(data); err != nil {
+			t.Fatal(err)
+		}
+	}); got > 1 {
+		t.Errorf("Append = %.1f allocs/op, want <= 1", got)
+	}
+	if got := testing.AllocsPerRun(100, func() {
+		if _, err := l.AppendBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+	}); got > 1 {
+		t.Errorf("AppendBatch(4) = %.1f allocs/op, want <= 1", got)
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"bioopera/internal/darwin"
 	"bioopera/internal/experiments"
 	"bioopera/internal/ocr"
+	"bioopera/internal/sched"
 	"bioopera/internal/store"
 	"bioopera/internal/wal"
 )
@@ -448,6 +449,117 @@ PROCESS Fan {
 			b.ReportMetric(bpa, "ckpt-B/act")
 			gateCheckpointBytes(b, width, bpa)
 		})
+	}
+}
+
+// benchScheduleNodes is the cluster view the scheduling benchmark decides
+// against: a mid-size pool with mixed occupancy.
+func benchScheduleNodes() []cluster.NodeView {
+	nodes := make([]cluster.NodeView, 16)
+	for i := range nodes {
+		nodes[i] = cluster.NodeView{
+			Name: fmt.Sprintf("n%02d", i), OS: "linux", Up: true,
+			CPUs: 4, Speed: 1, Running: i % 4, ExtLoad: float64(i%3) * 0.3,
+		}
+	}
+	return nodes
+}
+
+// scheduleNsPerDecision measures the steady-state dispatch cycle (pop the
+// best placeable job, requeue a replacement) at a fixed queue depth.
+func scheduleNsPerDecision(b *testing.B, depth int) float64 {
+	s := sched.New(sched.Config{Quotas: map[string]float64{"t0": 3, "t1": 1, "t2": 2}})
+	for i := 0; i < depth; i++ {
+		s.Enqueue(sched.Job{
+			ID:       fmt.Sprintf("j%06d", i),
+			Tenant:   fmt.Sprintf("t%d", i%3),
+			Priority: i % 4,
+			Key:      fmt.Sprintf("prog%d", i%8),
+			Cost:     time.Second,
+		})
+	}
+	nodes := benchScheduleNodes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j, _, ok := s.Next(nodes, nil)
+		if !ok {
+			b.Fatal("nothing dispatchable")
+		}
+		s.Enqueue(j) // keep the depth constant
+	}
+	b.StopTimer()
+	return float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+}
+
+// bench6Baseline loads the committed scheduler baseline.
+func bench6Baseline(b *testing.B) map[string]float64 {
+	data, err := os.ReadFile("BENCH_6.json")
+	if err != nil {
+		b.Fatalf("BENCH_GATE set but baseline unreadable: %v", err)
+	}
+	var doc struct {
+		Schedule struct {
+			LatencyRatio map[string]float64 `json:"latency_ratio_vs_depth100"`
+		} `json:"schedule"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		b.Fatalf("BENCH_6.json: %v", err)
+	}
+	return doc.Schedule.LatencyRatio
+}
+
+// BenchmarkSchedule measures scheduler decision latency against queue
+// depth. The gate compares each depth's latency as a RATIO to the in-run
+// depth-100 measurement — machine-independent, so CI hardware differences
+// don't trip it while algorithmic blowups (a linear scan turning
+// quadratic) do: the ratio may not regress more than 10% over the
+// committed BENCH_6.json baseline.
+func BenchmarkSchedule(b *testing.B) {
+	depths := []int{100, 1000, 10000}
+	ns := make(map[int]float64, len(depths))
+	for _, depth := range depths {
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			ns[depth] = scheduleNsPerDecision(b, depth)
+			b.ReportMetric(ns[depth], "ns/decision")
+		})
+	}
+	if os.Getenv("BENCH_GATE") == "" || ns[100] <= 0 {
+		return
+	}
+	base := bench6Baseline(b)
+	for _, depth := range depths[1:] {
+		ratio := ns[depth] / ns[100]
+		want, ok := base[strconv.Itoa(depth)]
+		if !ok || want <= 0 {
+			b.Fatalf("BENCH_6.json has no latency-ratio baseline for depth %d", depth)
+		}
+		if ratio > want*1.10 {
+			b.Fatalf("decision latency regressed >10%% at depth %d: ratio %.1f, baseline %.1f", depth, ratio, want)
+		}
+	}
+}
+
+// BenchmarkAdaptiveBatching regenerates the granularity-autotuning
+// comparison: the batcher's TEU choice vs. the naive one-per-CPU fixed
+// batch under an idle and a volatile load profile. The simulation is
+// deterministic, so the gate — adaptive must beat fixed at both profiles —
+// is machine-independent.
+func BenchmarkAdaptiveBatching(b *testing.B) {
+	var res *experiments.AdaptiveResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.AdaptiveBatching(experiments.AdaptiveOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, p := range []string{"idle", "volatile"} {
+		ad, fx := res.Cell(p, "adaptive"), res.Cell(p, "fixed")
+		delta := 100 * (float64(ad.WALL)/float64(fx.WALL) - 1)
+		b.ReportMetric(delta, p+"-wall-delta-%")
+		if os.Getenv("BENCH_GATE") != "" && ad.WALL >= fx.WALL {
+			b.Fatalf("adaptive batching lost to fixed on the %s profile: %v vs %v", p, ad.WALL, fx.WALL)
+		}
 	}
 }
 

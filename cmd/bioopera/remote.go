@@ -5,12 +5,36 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"time"
 
 	"bioopera/internal/core"
 	"bioopera/internal/obs"
 	"bioopera/internal/remote"
+	"bioopera/internal/sched"
 )
+
+// parseQuotas turns repeated tenant=weight flags into the scheduler's
+// fair-share quota map.
+func parseQuotas(flags repeated) (map[string]float64, error) {
+	if len(flags) == 0 {
+		return nil, nil
+	}
+	quotas := make(map[string]float64, len(flags))
+	for _, q := range flags {
+		name, val, ok := strings.Cut(q, "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("bad -quota %q (want tenant=weight)", q)
+		}
+		w, err := strconv.ParseFloat(val, 64)
+		if err != nil || w <= 0 {
+			return nil, fmt.Errorf("bad -quota %q: weight must be a positive number", q)
+		}
+		quotas[name] = w
+	}
+	return quotas, nil
+}
 
 // cmdServe runs the engine as a network server: worker agents connect over
 // TCP, activities dispatch to them, and heartbeat loss fails work over to
@@ -22,6 +46,10 @@ func cmdServe(args []string) error {
 	var inputFlags repeated
 	fs.Var(&inputFlags, "input", "process input as name=value (repeatable)")
 	workers := fs.Int("workers", 1, "worker agents to wait for before starting")
+	policy := fs.String("policy", "", "placement policy: first-fit, least-loaded, fastest or round-robin (default least-loaded)")
+	var quotaFlags repeated
+	fs.Var(&quotaFlags, "quota", "fair-share weight as tenant=weight (repeatable)")
+	tenant := fs.String("tenant", "", "fair-share tenant to charge this run to")
 	timeout := fs.Duration("timeout", 10*time.Minute, "completion timeout")
 	beat := fs.Duration("heartbeat", time.Second, "worker heartbeat cadence")
 	beatTimeout := fs.Duration("heartbeat-timeout", 0, "silence before a worker is declared dead (default 3× heartbeat)")
@@ -40,6 +68,14 @@ func cmdServe(args []string) error {
 		*template = ps[0].Name
 	}
 	inputs, err := parseInputs(inputFlags)
+	if err != nil {
+		return err
+	}
+	pol, err := sched.PolicyByName(*policy)
+	if err != nil {
+		return err
+	}
+	quotas, err := parseQuotas(quotaFlags)
 	if err != nil {
 		return err
 	}
@@ -65,6 +101,8 @@ func cmdServe(args []string) error {
 		Addr:             *listen,
 		Store:            st,
 		Library:          stubLibrary(ps, *verbose),
+		Policy:           pol,
+		Quotas:           quotas,
 		HeartbeatEvery:   *beat,
 		HeartbeatTimeout: *beatTimeout,
 		Logf:             logf,
@@ -119,7 +157,7 @@ func cmdServe(args []string) error {
 		}
 		time.Sleep(50 * time.Millisecond)
 	}
-	id, err := rt.StartProcess(*template, inputs, core.StartOptions{})
+	id, err := rt.StartProcess(*template, inputs, core.StartOptions{Tenant: *tenant})
 	if err != nil {
 		return err
 	}

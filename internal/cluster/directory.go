@@ -70,6 +70,26 @@ func (d *Directory) SetUp(name string, up bool) bool {
 	return true
 }
 
+// SetExtLoad records a node's observed external (non-BioOpera) load, the
+// feedback the batcher's granularity autotuning and the migration policy
+// react to. Load is clamped to [0, 1]. It reports whether the node was
+// known.
+func (d *Directory) SetExtLoad(name string, load float64) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n, ok := d.nodes[name]
+	if !ok {
+		return false
+	}
+	if load < 0 {
+		load = 0
+	} else if load > 1 {
+		load = 1
+	}
+	n.ExtLoad = load
+	return true
+}
+
 // Get returns a node's current view.
 func (d *Directory) Get(name string) (NodeView, bool) {
 	d.mu.Lock()

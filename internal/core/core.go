@@ -99,6 +99,7 @@ const (
 	EvPersistError      EventKind = "persist-error"
 	EvNodeJoined        EventKind = "node-joined"
 	EvNodeDown          EventKind = "node-down"
+	EvTaskUnplaceable   EventKind = "task-unplaceable"
 )
 
 // Event is one engine-level occurrence, persisted to the history journal.
@@ -129,6 +130,11 @@ type Options struct {
 	Clock Clock
 	// Policy places activities; defaults to LeastLoaded.
 	Policy sched.Policy
+	// Quotas assigns per-tenant fair-share weights for the activity
+	// queue (unlisted tenants weigh 1). Tenancy comes from
+	// StartOptions.Tenant; with a single tenant the queue order is the
+	// plain (priority, FIFO) of the pre-tenancy engine.
+	Quotas map[string]float64
 	// Shards sizes the instance lock table (default DefaultShards).
 	// 1 serializes all instances against each other — the pre-sharding
 	// behaviour, kept as a benchmark baseline.
@@ -165,7 +171,8 @@ type queuedRef struct {
 	inst *Instance
 	sc   *scope
 	ts   *taskState
-	node string // dispatch target; set under dmu when the job starts running
+	job  sched.Job // the queued job as built at enqueue (cost, tenant, key)
+	node string    // dispatch target; set under dmu when the job starts running
 	// cancelTimeout stops the TIMEOUT timer armed at dispatch; set and
 	// cleared under dmu while the job is in the running map.
 	cancelTimeout func()
@@ -189,7 +196,7 @@ type queuedRef struct {
 // at the tail of every public entry point.
 type Engine struct {
 	opts    Options
-	policy  sched.Policy
+	sched   *sched.Scheduler
 	metrics *engineMetrics // nil when Options.Metrics is nil
 
 	paused atomic.Bool // global suspend (server-level)
@@ -203,7 +210,6 @@ type Engine struct {
 	nextID    int
 
 	dmu     sync.Mutex
-	queue   sched.Queue
 	queued  map[string]*queuedRef             // job ID → queued task
 	running map[string]*queuedRef             // job ID → running task
 	waiting map[string][]*queuedRef           // instance|event → AWAIT tasks
@@ -214,9 +220,6 @@ type Engine struct {
 func New(opts Options) (*Engine, error) {
 	if opts.Store == nil || opts.Library == nil || opts.Executor == nil || opts.Clock == nil {
 		return nil, fmt.Errorf("core: Store, Library, Executor and Clock are required")
-	}
-	if opts.Policy == nil {
-		opts.Policy = sched.LeastLoaded{}
 	}
 	if opts.Shards <= 0 {
 		opts.Shards = DefaultShards
@@ -230,7 +233,7 @@ func New(opts Options) (*Engine, error) {
 	}
 	e := &Engine{
 		opts:      opts,
-		policy:    opts.Policy,
+		sched:     sched.New(sched.Config{Policy: opts.Policy, Quotas: opts.Quotas}),
 		shards:    make([]sync.Mutex, opts.Shards),
 		templates: make(map[string]*ocr.Process),
 		instances: make(map[string]*Instance),
@@ -408,6 +411,10 @@ type StartOptions struct {
 	// Nice makes activities yield to competing cluster load (the
 	// paper's shared-cluster mode).
 	Nice bool
+	// Tenant is the fair-share accounting bucket this instance's
+	// activities charge to ("" = the default tenant); weights come from
+	// Options.Quotas.
+	Tenant string
 }
 
 // StartProcess instantiates a template and begins navigation. It returns
@@ -428,6 +435,7 @@ func (e *Engine) StartProcess(template string, inputs map[string]ocr.Value, opts
 		Template: template,
 		Priority: opts.Priority,
 		Nice:     opts.Nice,
+		Tenant:   opts.Tenant,
 		Started:  e.now(),
 	}
 	in.setStatus(InstanceRunning)
@@ -532,9 +540,37 @@ func (e *Engine) Instances() []*Instance {
 // QueueLen reports how many activities await dispatch.
 func (e *Engine) QueueLen() int {
 	e.dmu.Lock()
-	n := e.queue.Len()
+	n := e.sched.Len()
 	e.dmu.Unlock()
 	return n
+}
+
+// QueueDepths reports the queue depth by tenant and by priority level —
+// the monitor's view of the multi-tenant queue.
+func (e *Engine) QueueDepths() (byTenant map[string]int, byPriority map[int]int) {
+	e.dmu.Lock()
+	byTenant = e.sched.DepthByTenant()
+	byPriority = e.sched.DepthByPriority()
+	e.dmu.Unlock()
+	return byTenant, byPriority
+}
+
+// TenantUsage reports a tenant's accumulated fair-share charge (estimated
+// seconds of dispatched work).
+func (e *Engine) TenantUsage(tenant string) float64 {
+	e.dmu.Lock()
+	u := e.sched.Usage(tenant)
+	e.dmu.Unlock()
+	return u
+}
+
+// CostRatio returns the scheduler's learned actual/estimated cost ratio
+// for a program key, from completed-activity durations.
+func (e *Engine) CostRatio(key string) (float64, bool) {
+	e.dmu.Lock()
+	r, ok := e.sched.Predictor().Ratio(key)
+	e.dmu.Unlock()
+	return r, ok
 }
 
 // RunningJobs reports how many activities are executing on the cluster.
@@ -669,7 +705,7 @@ func (e *Engine) dropQueued(in *Instance) {
 	}
 	sort.Strings(ids)
 	for _, id := range ids {
-		e.queue.Remove(id)
+		e.sched.Remove(id)
 		delete(e.queued, id)
 	}
 	e.dmu.Unlock()

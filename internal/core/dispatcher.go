@@ -32,18 +32,21 @@ func (e *Engine) Pump() {
 }
 
 // drain pops dispatchable jobs until the queue or the cluster is
-// exhausted.
+// exhausted. The scheduler owns ordering (priority, tenant fair share)
+// and placement; the engine only vetoes jobs whose instance is not
+// running and executes the decisions.
 func (e *Engine) drain() {
+	e.reapUnplaceable()
 	for {
 		e.dmu.Lock()
 		nodes := e.opts.Executor.Nodes()
-		job, node, ok := e.queue.PopWhere(func(j sched.Job) (string, bool) {
+		t0 := e.now()
+		job, node, ok := e.sched.Next(nodes, func(j sched.Job) bool {
 			ref := e.queued[j.ID]
-			if ref == nil || ref.inst.statusNow() != InstanceRunning {
-				return "", false // suspended instances stay queued
-			}
-			return e.policy.Pick(j, nodes)
+			// Suspended instances stay queued.
+			return ref != nil && ref.inst.statusNow() == InstanceRunning
 		})
+		e.metrics.decision(e.now().Sub(t0))
 		if !ok {
 			e.dmu.Unlock()
 			return
@@ -55,6 +58,62 @@ func (e *Engine) drain() {
 			return
 		}
 	}
+}
+
+// reapUnplaceable removes jobs the scheduler reports as permanently
+// unplaceable — every node their Nodes list names is down or unknown —
+// and fails their tasks with an EvTaskUnplaceable event instead of
+// letting them queue silently forever.
+func (e *Engine) reapUnplaceable() {
+	e.dmu.Lock()
+	dead := e.sched.TakeUnplaceable(e.opts.Executor.Nodes())
+	refs := make([]*queuedRef, len(dead))
+	for i, job := range dead {
+		refs[i] = e.queued[job.ID]
+		delete(e.queued, job.ID)
+	}
+	e.dmu.Unlock()
+	for i, job := range dead {
+		e.failUnplaceable(job, refs[i])
+	}
+}
+
+// failUnplaceable fails one permanently unplaceable task, re-validating
+// under the instance's shard exactly like dispatch. Suspended instances
+// get the job back — unplaceability is judged against live cluster state,
+// and a suspended instance is not asking to run.
+func (e *Engine) failUnplaceable(job sched.Job, ref *queuedRef) {
+	if ref == nil {
+		return
+	}
+	in, sc, ts := ref.inst, ref.sc, ref.ts
+	mu := e.shardFor(in.ID)
+	mu.Lock()
+	if cur, live := e.lookup(in.ID); !live || cur != in {
+		mu.Unlock()
+		return
+	}
+	e.beginTurn(in)
+	if sc.defunct || ts.Status != TaskReady || ts.Job != job.ID {
+		e.endTurn(in, mu, false)
+		return
+	}
+	if in.Status != InstanceRunning {
+		requeue := in.Status == InstanceSuspended
+		e.endTurn(in, mu, false)
+		if requeue {
+			e.dmu.Lock()
+			e.sched.Enqueue(job)
+			e.queued[job.ID] = ref
+			e.dmu.Unlock()
+		}
+		return
+	}
+	t := sc.Proc.Task(ts.Name)
+	e.emit(Event{Kind: EvTaskUnplaceable, Instance: in.ID, Scope: sc.ID, Task: ts.Name,
+		Detail: fmt.Sprintf("required nodes %v are all down or unknown", job.Nodes)})
+	e.failTask(in, sc, t, ts, fmt.Errorf("required nodes %v are all down or unknown", job.Nodes))
+	e.endTurn(in, mu, false)
 }
 
 // dispatch starts one popped job on its chosen node. It returns false when
@@ -80,7 +139,7 @@ func (e *Engine) dispatch(job sched.Job, node string, ref *queuedRef) bool {
 		if requeue {
 			// Suspended after the pop: keep it queued for Resume.
 			e.dmu.Lock()
-			e.queue.Push(job)
+			e.sched.Enqueue(job)
 			e.queued[job.ID] = ref
 			e.dmu.Unlock()
 		}
@@ -118,7 +177,7 @@ func (e *Engine) dispatch(job sched.Job, node string, ref *queuedRef) bool {
 		e.dmu.Lock()
 		delete(e.running, job.ID)
 		ref.node = ""
-		e.queue.Push(job)
+		e.sched.Enqueue(job)
 		e.queued[job.ID] = ref
 		e.dmu.Unlock()
 		e.endTurn(in, mu, false)
@@ -224,6 +283,15 @@ func (e *Engine) HandleCompletion(c cluster.Completion) {
 	ts.CPUTime += c.CPUTime
 	in.CPU += c.CPUTime
 	e.touchTask(in, sc, ts)
+	if c.Err == nil && ref.job.Key != "" {
+		// Feed the completed activity's actual CPU time back into the
+		// scheduler's cost predictor (BioWorkbench-style history). In
+		// simulation CPUTime is virtual, so the calibration — and every
+		// decision derived from it — stays deterministic.
+		e.dmu.Lock()
+		e.sched.Observe(ref.job.Key, ref.job.Cost, c.CPUTime)
+		e.dmu.Unlock()
+	}
 
 	if in.Status == InstanceFailed || in.Status == InstanceDone {
 		e.endTurn(in, mu, false)
@@ -324,6 +392,50 @@ func (e *Engine) Migrate(p sched.MigrationPolicy) int {
 	return len(kills)
 }
 
+// Preempt applies a preemption sweep once: queued high-priority jobs that
+// have starved past the policy's wait, and that no free slot can take,
+// reclaim nodes from strictly lower-priority running work. Victims are
+// killed through the executor; their ErrJobKilled completions requeue
+// them via the ordinary infrastructure-failure path — checkpointing is at
+// activity granularity (§3.3), so each victim loses at most one
+// activity's work and consumes no retry. It returns how many jobs were
+// killed. Like Migrate, it is driven explicitly (a timer in real
+// runtimes, a virtual-time event in simulation), so runs that never call
+// it keep their traces byte-identical.
+func (e *Engine) Preempt(p sched.Preemptor) int {
+	e.dmu.Lock()
+	queued := e.sched.Jobs()
+	ids := make([]string, 0, len(e.running))
+	for id := range e.running {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	running := make([]sched.Running, 0, len(ids))
+	for _, id := range ids {
+		ref := e.running[id]
+		if ref.inst.statusNow() != InstanceRunning {
+			continue
+		}
+		running = append(running, sched.Running{
+			Job: id, Node: ref.node,
+			Priority: ref.job.Priority, Tenant: ref.job.Tenant,
+		})
+	}
+	e.dmu.Unlock()
+	kills := p.Decide(e.now(), queued, running, e.opts.Executor.Nodes())
+	for _, k := range kills {
+		e.dmu.Lock()
+		ref := e.running[k.Job]
+		e.dmu.Unlock()
+		if ref == nil {
+			continue
+		}
+		e.opts.Executor.Kill(cluster.JobID(k.Job), k.Node)
+	}
+	e.metrics.preempted(len(kills))
+	return len(kills)
+}
+
 // Crash simulates a BioOpera server crash (§5.4 event 3): all volatile
 // state vanishes. The store survives; Recover rebuilds from it. Jobs still
 // running on the cluster become orphans whose completions are ignored.
@@ -357,7 +469,7 @@ func (e *Engine) Crash() {
 	e.dmu.Lock()
 	e.instances = make(map[string]*Instance)
 	e.order = nil
-	e.queue = sched.Queue{}
+	e.sched.Reset()
 	e.queued = make(map[string]*queuedRef)
 	e.running = make(map[string]*queuedRef)
 	e.waiting = make(map[string][]*queuedRef)

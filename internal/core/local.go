@@ -164,6 +164,16 @@ func newLocalExec(rt *LocalRuntime, workers int) *localExec {
 // Nodes implements Executor.
 func (ex *localExec) Nodes() []cluster.NodeView { return ex.dir.Nodes() }
 
+// SetExternalLoad reports the machine's observed external (non-BioOpera)
+// load, 0..1, applied to every slot in the pool. The scheduler's batcher
+// and migration policy react to it; callers typically sample the OS load
+// average on a timer.
+func (rt *LocalRuntime) SetExternalLoad(load float64) {
+	for _, v := range rt.exec.dir.Nodes() {
+		rt.exec.dir.SetExtLoad(v.Name, load)
+	}
+}
+
 // busySlots reports occupied worker slots (the slot-occupancy gauge).
 func (ex *localExec) busySlots() int {
 	ex.mu.Lock()

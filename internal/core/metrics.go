@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sort"
 	"strconv"
 	"time"
 
@@ -23,6 +24,12 @@ type engineMetrics struct {
 	ckptMarshal *obs.Histogram
 	ckptBytes   *obs.Counter
 	ckptRecords *obs.Counter
+
+	// Scheduler instrumentation. Decision latency reads zero under the sim
+	// clock (virtual time does not advance mid-drain), keeping sim runs
+	// deterministic.
+	schedDecide *obs.Histogram
+	preemptions *obs.Counter
 }
 
 // allEventKinds enumerates the kinds that get a pre-registered counter, so
@@ -33,6 +40,7 @@ var allEventKinds = []EventKind{
 	EvTaskFailed, EvTaskRetried, EvTaskTimeout, EvTaskDead,
 	EvServerRecovered, EvSphereAborted, EvUndoRun, EvUndoFailed,
 	EvTaskAwaiting, EvSignal, EvPersistError, EvNodeJoined, EvNodeDown,
+	EvTaskUnplaceable,
 }
 
 // newEngineMetrics registers the engine's instrumentation: event counters
@@ -61,9 +69,44 @@ func newEngineMetrics(reg *obs.Registry, e *Engine) *engineMetrics {
 		"Serialized checkpoint record bytes written.")
 	m.ckptRecords = reg.Counter("bioopera_checkpoint_records_total",
 		"Individual records written across checkpoint batches.")
+	m.schedDecide = reg.Histogram("bioopera_sched_decide_seconds",
+		"Scheduler decision latency per dispatched (or declined) drain step.", nil)
+	m.preemptions = reg.Counter("bioopera_sched_preemptions_total",
+		"Running jobs killed to reclaim nodes for starving higher-priority work.")
 	reg.GaugeFunc("bioopera_engine_queue_depth",
 		"Activities awaiting dispatch.",
 		func() float64 { return float64(e.QueueLen()) })
+	// Per-tenant and per-priority queue depth. Label sets must be fixed at
+	// registration, so tenants come from the configured quota map (plus the
+	// default bucket) and priorities cover the engine's practical range.
+	tenants := make([]string, 0, len(e.opts.Quotas)+1)
+	tenants = append(tenants, "")
+	for t := range e.opts.Quotas {
+		tenants = append(tenants, t)
+	}
+	sort.Strings(tenants)
+	for _, t := range tenants {
+		t := t
+		label := t
+		if label == "" {
+			label = "default"
+		}
+		reg.GaugeFuncWith("bioopera_sched_queue_depth_tenant",
+			"Activities awaiting dispatch, by tenant.", "tenant", label,
+			func() float64 {
+				byTenant, _ := e.QueueDepths()
+				return float64(byTenant[t])
+			})
+	}
+	for p := 0; p <= 7; p++ {
+		p := p
+		reg.GaugeFuncWith("bioopera_sched_queue_depth_priority",
+			"Activities awaiting dispatch, by priority level.", "priority", strconv.Itoa(p),
+			func() float64 {
+				_, byPrio := e.QueueDepths()
+				return float64(byPrio[p])
+			})
+	}
 	reg.GaugeFunc("bioopera_engine_running_jobs",
 		"Activities executing on the cluster.",
 		func() float64 { return float64(e.RunningJobs()) })
@@ -111,6 +154,22 @@ func (m *engineMetrics) checkpoint(marshal time.Duration, bytes, records int) {
 	m.ckptMarshal.Observe(marshal.Seconds())
 	m.ckptBytes.Add(uint64(bytes))
 	m.ckptRecords.Add(uint64(records))
+}
+
+// decision records one scheduler drain step's decision latency.
+func (m *engineMetrics) decision(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.schedDecide.Observe(d.Seconds())
+}
+
+// preempted counts jobs killed by one preemption round.
+func (m *engineMetrics) preempted(n int) {
+	if m == nil || n == 0 {
+		return
+	}
+	m.preemptions.Add(uint64(n))
 }
 
 // beginTurn stamps the start of a navigation turn; endTurn observes the

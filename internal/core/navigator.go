@@ -101,10 +101,13 @@ func (e *Engine) enqueueActivity(in *Instance, sc *scope, t *ocr.Task, ts *taskS
 		Priority: in.Priority + t.Priority,
 		OS:       prog.OS,
 		Nodes:    prog.Nodes,
+		Tenant:   in.Tenant,
+		Key:      t.Program,
+		Enqueued: e.now(),
 	}
 	e.dmu.Lock()
-	e.queue.Push(job)
-	e.queued[id] = &queuedRef{inst: in, sc: sc, ts: ts}
+	e.sched.Enqueue(job)
+	e.queued[id] = &queuedRef{inst: in, sc: sc, ts: ts, job: job}
 	e.dmu.Unlock()
 	e.touchTask(in, sc, ts)
 	e.emit(Event{Kind: EvTaskReady, Instance: in.ID, Scope: sc.ID, Task: t.Name})
@@ -504,14 +507,15 @@ func (e *Engine) requeue(in *Instance, sc *scope, t *ocr.Task, ts *taskState) {
 	id := jobID(in, sc, t.Name, ts.Attempts)
 	ts.Job = id
 	ts.Node = ""
-	job := sched.Job{ID: id, Cost: cost, Priority: in.Priority + t.Priority}
+	job := sched.Job{ID: id, Cost: cost, Priority: in.Priority + t.Priority,
+		Tenant: in.Tenant, Key: t.Program, Enqueued: e.now()}
 	if prog != nil {
 		job.OS = prog.OS
 		job.Nodes = prog.Nodes
 	}
 	e.dmu.Lock()
-	e.queue.Push(job)
-	e.queued[id] = &queuedRef{inst: in, sc: sc, ts: ts}
+	e.sched.Enqueue(job)
+	e.queued[id] = &queuedRef{inst: in, sc: sc, ts: ts, job: job}
 	e.dmu.Unlock()
 	e.touchTask(in, sc, ts)
 	e.persist(in)

@@ -115,6 +115,7 @@ type instanceDTO struct {
 	Status        InstanceStatus       `json:"status"`
 	Priority      int                  `json:"priority,omitempty"`
 	Nice          bool                 `json:"nice,omitempty"`
+	Tenant        string               `json:"tenant,omitempty"`
 	Started       sim.Time             `json:"started"`
 	Ended         sim.Time             `json:"ended,omitempty"`
 	Activities    int                  `json:"activities,omitempty"`
@@ -287,7 +288,7 @@ func (e *Engine) persistError(in *Instance, context string, err error) {
 func buildInstanceDTO(in *Instance) instanceDTO {
 	return instanceDTO{
 		ID: in.ID, Template: in.Template, Status: in.Status,
-		Priority: in.Priority, Nice: in.Nice,
+		Priority: in.Priority, Nice: in.Nice, Tenant: in.Tenant,
 		Started: in.Started, Ended: in.Ended,
 		Activities: in.Activities, CPU: in.CPU,
 		Failures: in.Failures, Retries: in.Retries,
@@ -877,7 +878,7 @@ func (e *Engine) Recover() (int, error) {
 func (e *Engine) rebuildInstance(meta instanceDTO, recMap map[string]*scopeRec, procTexts map[string]string, procCache map[string]*ocr.Process) (*Instance, error) {
 	in := &Instance{
 		ID: meta.ID, Template: meta.Template,
-		Priority: meta.Priority, Nice: meta.Nice,
+		Priority: meta.Priority, Nice: meta.Nice, Tenant: meta.Tenant,
 		Started: meta.Started, Ended: meta.Ended,
 		Activities: meta.Activities, CPU: meta.CPU,
 		Failures: meta.Failures, Retries: meta.Retries,

@@ -98,7 +98,7 @@ func (e *Engine) abortSphere(in *Instance, sc *scope, t *ocr.Task, ts *taskState
 	}
 	sort.Strings(queuedIDs)
 	for _, id := range queuedIDs {
-		e.queue.Remove(id)
+		e.sched.Remove(id)
 		delete(e.queued, id)
 	}
 	var runningIDs []string

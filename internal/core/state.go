@@ -225,6 +225,7 @@ type Instance struct {
 	Status   InstanceStatus
 	Priority int
 	Nice     bool
+	Tenant   string // fair-share accounting bucket ("" = default)
 	Started  sim.Time
 	Ended    sim.Time
 

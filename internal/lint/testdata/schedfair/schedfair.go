@@ -1,0 +1,70 @@
+// Package schedfair is a biooperalint golden fixture: the determinism
+// invariants the scheduler subsystem must keep now that internal/sched
+// is in the deterministic set. A scheduler that reads the wall clock or
+// iterates tenant maps in hash order would break replay-identical
+// dispatch traces.
+package schedfair
+
+import (
+	"sort"
+	"time"
+)
+
+type job struct {
+	tenant   string
+	enqueued time.Time
+}
+
+func dispatch(job) {}
+
+// badStamp stamps arrival from the wall clock; enqueue times must come
+// from the injected simulation clock or dispatch order drifts on replay.
+func badStamp(j *job) {
+	j.enqueued = time.Now() // want `time\.Now reads the wall clock`
+}
+
+// badSweep paces preemption sweeps against the wall clock.
+func badSweep() {
+	time.Sleep(time.Second) // want `time\.Sleep reads the wall clock`
+}
+
+// badFairShare dispatches straight out of a tenant-map range: hash order
+// decides who runs first, so two identical runs diverge.
+func badFairShare(queues map[string][]job) {
+	for _, q := range queues { // want `range over map queues has an order-sensitive body`
+		if len(q) > 0 {
+			dispatch(q[0])
+		}
+	}
+}
+
+// goodFairShare is the repo idiom: collect tenants, sort, then walk the
+// slice — merged order depends only on data, never on the hash seed.
+func goodFairShare(queues map[string][]job) {
+	tenants := make([]string, 0, len(queues))
+	for t := range queues {
+		tenants = append(tenants, t)
+	}
+	sort.Strings(tenants)
+	for _, t := range tenants {
+		if q := queues[t]; len(q) > 0 {
+			dispatch(q[0])
+		}
+	}
+}
+
+// depth only accumulates; order-independent bodies stay legal.
+func depth(queues map[string][]job) int {
+	var n int
+	for _, q := range queues {
+		n += len(q)
+	}
+	return n
+}
+
+// allowedClock documents a sanctioned read for operator-facing logs that
+// never feed back into scheduling decisions.
+func allowedClock() time.Time {
+	//bioopera:allow walltime fixture: log timestamp, never reaches a dispatch decision
+	return time.Now()
+}

@@ -28,6 +28,10 @@ type AgentConfig struct {
 	HandshakeTimeout time.Duration
 	// Library resolves program names from launch messages. Required.
 	Library *core.Library
+	// Load, when set, samples the machine's external (non-BioOpera) load
+	// (0..1) before each heartbeat; the server feeds it to the scheduler's
+	// granularity autotuning. May be nil (no load reported).
+	Load func() float64
 	// Logf receives diagnostics. May be nil.
 	Logf func(format string, args ...any)
 }
@@ -179,7 +183,11 @@ func (a *Agent) heartbeatLoop(every time.Duration) {
 			if paused {
 				continue
 			}
-			if err := a.send(Message{Type: MsgHeartbeat}); err != nil {
+			hb := Message{Type: MsgHeartbeat}
+			if a.cfg.Load != nil {
+				hb.Load = a.cfg.Load()
+			}
+			if err := a.send(hb); err != nil {
 				return
 			}
 		}

@@ -74,6 +74,10 @@ type Message struct {
 	CostMs    int64                `json:"costMs,omitempty"`
 	TimeoutMs int64                `json:"timeoutMs,omitempty"`
 
+	// heartbeat: observed external (non-BioOpera) load on the worker's
+	// machine, 0..1; feeds the scheduler's granularity autotuning
+	Load float64 `json:"load,omitempty"`
+
 	// completion
 	Outputs  map[string]ocr.Value `json:"outputs,omitempty"`
 	Error    string               `json:"error,omitempty"`

@@ -24,6 +24,8 @@ type Config struct {
 	Library *core.Library
 	// Policy defaults to LeastLoaded.
 	Policy sched.Policy
+	// Quotas assigns per-tenant fair-share weights (see core.Options.Quotas).
+	Quotas map[string]float64
 	// Shards sets the engine's instance-lock shard count.
 	Shards int
 	// OnEvent observes engine events plus the runtime's node-joined /
@@ -109,6 +111,7 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 		Executor:  srv,
 		Clock:     core.ClockFunc(now),
 		Policy:    cfg.Policy,
+		Quotas:    cfg.Quotas,
 		Shards:    cfg.Shards,
 		OnEvent:   cfg.OnEvent,
 		OnError:   cfg.OnError,

@@ -448,6 +448,16 @@ func (s *Server) handleConn(conn net.Conn) {
 		case MsgHeartbeat:
 			// lastBeat already refreshed above.
 			s.mHeartbeats.Inc()
+			// Propagate the worker's reported external load to every node it
+			// owns — the feedback the scheduler's batcher autotunes on.
+			if m.Load > 0 {
+				s.mu.Lock()
+				nodes := append([]string(nil), w.nodes...)
+				s.mu.Unlock()
+				for _, n := range nodes {
+					s.dir.SetExtLoad(n, m.Load)
+				}
+			}
 		case MsgCompletion:
 			s.handleCompletion(w, m)
 		default:

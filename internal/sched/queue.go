@@ -1,0 +1,251 @@
+package sched
+
+import "sort"
+
+// Queue is the activity queue: pending jobs ordered by priority (higher
+// first), by tenant fair share among equal priorities, and FIFO within a
+// (priority, tenant) pair.
+//
+// Fair share follows the classic weighted scheme: each tenant accumulates
+// usage (charged by the Scheduler as work dispatches), and among heads of
+// equal priority the tenant with the smallest usage/quota ratio goes
+// first. With a single tenant — or before any usage is charged — the order
+// reduces exactly to the legacy queue's (priority desc, arrival FIFO), so
+// deterministic simulation traces are unchanged by the tenancy machinery.
+//
+// The zero value is an empty queue with no quotas (every tenant weight 1).
+// Queue is not safe for concurrent use; the engine serializes access
+// under its dispatch lock.
+type Queue struct {
+	tenants map[string]*tenantQueue
+	names   []string // tenant first-seen order, for deterministic scans
+	quotas  map[string]float64
+	usage   map[string]float64
+	n       int // global arrival counter (FIFO tie-break)
+	size    int
+}
+
+// tenantQueue holds one tenant's jobs in (priority desc, arrival asc)
+// order.
+type tenantQueue struct {
+	items []Job
+	seq   []int
+}
+
+// Len returns the number of queued jobs.
+func (q *Queue) Len() int { return q.size }
+
+// SetQuota assigns a tenant's fair-share weight (default 1; larger means
+// a larger share). Non-positive weights are ignored.
+func (q *Queue) SetQuota(tenant string, weight float64) {
+	if weight <= 0 {
+		return
+	}
+	if q.quotas == nil {
+		q.quotas = make(map[string]float64)
+	}
+	q.quotas[tenant] = weight
+}
+
+// Charge accrues usage against a tenant; the Scheduler calls it with each
+// dispatched job's estimated cost.
+func (q *Queue) Charge(tenant string, amount float64) {
+	if amount <= 0 {
+		return
+	}
+	if q.usage == nil {
+		q.usage = make(map[string]float64)
+	}
+	q.usage[tenant] += amount
+}
+
+// Usage returns a tenant's accumulated charge.
+func (q *Queue) Usage(tenant string) float64 { return q.usage[tenant] }
+
+func (q *Queue) weight(tenant string) float64 {
+	if w, ok := q.quotas[tenant]; ok {
+		return w
+	}
+	return 1
+}
+
+// Push enqueues a job.
+func (q *Queue) Push(j Job) {
+	if q.tenants == nil {
+		q.tenants = make(map[string]*tenantQueue)
+	}
+	tq, ok := q.tenants[j.Tenant]
+	if !ok {
+		tq = &tenantQueue{}
+		q.tenants[j.Tenant] = tq
+		q.names = append(q.names, j.Tenant)
+	}
+	q.n++
+	// Insert keeping (priority desc, seq asc) order within the tenant.
+	pos := len(tq.items)
+	for i, it := range tq.items {
+		if j.Priority > it.Priority {
+			pos = i
+			break
+		}
+	}
+	tq.items = append(tq.items, Job{})
+	tq.seq = append(tq.seq, 0)
+	copy(tq.items[pos+1:], tq.items[pos:])
+	copy(tq.seq[pos+1:], tq.seq[pos:])
+	tq.items[pos] = j
+	tq.seq[pos] = q.n
+	q.size++
+}
+
+// headLess reports whether tenant a's job at index ia dispatches before
+// tenant b's job at index ib: higher priority first, then smaller weighted
+// usage, then arrival order.
+func (q *Queue) headLess(a string, ia int, b string, ib int) bool {
+	ja, jb := q.tenants[a].items[ia], q.tenants[b].items[ib]
+	if ja.Priority != jb.Priority {
+		return ja.Priority > jb.Priority
+	}
+	if a != b {
+		ua := q.usage[a] / q.weight(a)
+		ub := q.usage[b] / q.weight(b)
+		if ua != ub {
+			return ua < ub
+		}
+	}
+	return q.tenants[a].seq[ia] < q.tenants[b].seq[ib]
+}
+
+// scan visits queued jobs in dispatch order until visit returns true.
+// visit receives the owning tenant and the job's index in that tenant's
+// sublist, valid until the next mutation.
+func (q *Queue) scan(visit func(tenant string, idx int) bool) {
+	cursors := make([]int, len(q.names))
+	for {
+		best := -1
+		for ni, name := range q.names {
+			if cursors[ni] >= len(q.tenants[name].items) {
+				continue
+			}
+			if best < 0 || q.headLess(name, cursors[ni], q.names[best], cursors[best]) {
+				best = ni
+			}
+		}
+		if best < 0 {
+			return
+		}
+		if visit(q.names[best], cursors[best]) {
+			return
+		}
+		cursors[best]++
+	}
+}
+
+// removeAt deletes one job from a tenant's sublist.
+func (q *Queue) removeAt(tenant string, i int) Job {
+	tq := q.tenants[tenant]
+	j := tq.items[i]
+	tq.items = append(tq.items[:i], tq.items[i+1:]...)
+	tq.seq = append(tq.seq[:i], tq.seq[i+1:]...)
+	q.size--
+	return j
+}
+
+// Peek returns the head job without removing it.
+func (q *Queue) Peek() (Job, bool) {
+	var out Job
+	found := false
+	q.scan(func(tenant string, i int) bool {
+		out = q.tenants[tenant].items[i]
+		found = true
+		return true
+	})
+	return out, found
+}
+
+// Pop removes and returns the head job.
+func (q *Queue) Pop() (Job, bool) {
+	var tname string
+	idx := -1
+	q.scan(func(tenant string, i int) bool {
+		tname, idx = tenant, i
+		return true
+	})
+	if idx < 0 {
+		return Job{}, false
+	}
+	return q.removeAt(tname, idx), true
+}
+
+// PopWhere removes and returns the first job (in dispatch order) for
+// which a placement exists, trying pick on each. It returns the job, the
+// chosen node, and ok.
+func (q *Queue) PopWhere(pick func(Job) (string, bool)) (Job, string, bool) {
+	var tname, node string
+	idx := -1
+	q.scan(func(tenant string, i int) bool {
+		if n, ok := pick(q.tenants[tenant].items[i]); ok {
+			tname, node, idx = tenant, n, i
+			return true
+		}
+		return false
+	})
+	if idx < 0 {
+		return Job{}, "", false
+	}
+	return q.removeAt(tname, idx), node, true
+}
+
+// Remove deletes a queued job by ID, reporting whether it was present.
+func (q *Queue) Remove(id string) bool {
+	for _, name := range q.names {
+		tq := q.tenants[name]
+		for i, j := range tq.items {
+			if j.ID == id {
+				q.removeAt(name, i)
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Jobs returns the queued jobs in dispatch order (copy).
+func (q *Queue) Jobs() []Job {
+	out := make([]Job, 0, q.size)
+	q.scan(func(tenant string, i int) bool {
+		out = append(out, q.tenants[tenant].items[i])
+		return false
+	})
+	return out
+}
+
+// DepthByTenant returns the number of queued jobs per tenant (tenants with
+// no queued jobs are omitted).
+func (q *Queue) DepthByTenant() map[string]int {
+	out := make(map[string]int)
+	for _, name := range q.names {
+		if n := len(q.tenants[name].items); n > 0 {
+			out[name] = n
+		}
+	}
+	return out
+}
+
+// DepthByPriority returns the number of queued jobs per priority level.
+func (q *Queue) DepthByPriority() map[int]int {
+	out := make(map[int]int)
+	for _, name := range q.names {
+		for _, j := range q.tenants[name].items {
+			out[j.Priority]++
+		}
+	}
+	return out
+}
+
+// Tenants returns the tenants that have ever queued a job, sorted.
+func (q *Queue) Tenants() []string {
+	out := append([]string(nil), q.names...)
+	sort.Strings(out)
+	return out
+}

@@ -1,20 +1,35 @@
-// Package sched provides the placement and load-balancing policies the
-// BioOpera dispatcher uses to assign activities to cluster nodes (§3.2:
-// "If the choice of assignment is not unique, the node is determined by
-// the scheduling and load balancing policy in use").
+// Package sched is the scheduling subsystem of the BioOpera server. It
+// grew out of the dispatcher's placement helpers (§3.2: "If the choice of
+// assignment is not unique, the node is determined by the scheduling and
+// load balancing policy in use") into four cooperating concerns:
+//
+//   - Queue    priority + per-tenant fair-share ordering with quotas
+//   - Policy   node placement (first-fit, least-loaded, fastest, round-robin)
+//   - Predictor cost-model calibration from completed-activity durations
+//   - Batcher  granularity autotuning from cluster load feedback (Fig. 4)
+//   - Preemptor node reclamation for starving high-priority work, riding
+//     the engine's checkpoint/requeue machinery
+//
+// Scheduler composes them behind one facade the core dispatcher drives.
+// Everything here is deterministic: no wall-clock reads, no map-order
+// dependent decisions — the package is part of biooperalint's
+// replay-identical set.
 package sched
 
 import (
 	"time"
 
 	"bioopera/internal/cluster"
+	"bioopera/internal/sim"
 )
 
-// Job is the dispatcher's view of an activity awaiting placement.
+// Job is the scheduler's view of an activity awaiting placement.
 type Job struct {
 	// ID identifies the activity instance.
 	ID string
-	// Cost is the estimated reference-CPU time (0 = unknown).
+	// Cost is the estimated reference-CPU time (0 = unknown). For the
+	// simulated cluster this doubles as the work actually charged, so the
+	// Predictor refines estimates for accounting without touching Cost.
 	Cost time.Duration
 	// Priority orders the activity queue (higher first).
 	Priority int
@@ -26,13 +41,20 @@ type Job struct {
 	// for dedicated-node setups like §5.4's "the slower ik-sun cluster
 	// was responsible for the refinement stages".
 	Nodes []string
+	// Tenant is the fair-share accounting bucket the job's usage charges
+	// to ("" = the default tenant).
+	Tenant string
+	// Key identifies the job's program for the Predictor's per-program
+	// execution history ("" disables estimation).
+	Key string
+	// Enqueued is the virtual time the job entered the queue; the
+	// Preemptor uses it to detect starvation.
+	Enqueued sim.Time
 }
 
-// eligible reports whether a node can accept the job right now.
-func (j Job) eligible(v cluster.NodeView) bool {
-	if !v.Up || v.FreeSlots() <= 0 {
-		return false
-	}
+// matches reports whether a node satisfies the job's static placement
+// constraints (OS and node affinity), ignoring liveness and capacity.
+func (j Job) matches(v cluster.NodeView) bool {
 	if j.OS != "" && v.OS != j.OS {
 		return false
 	}
@@ -51,246 +73,40 @@ func (j Job) eligible(v cluster.NodeView) bool {
 	return true
 }
 
-// Policy picks a node for a job. Pick returns ok=false when no eligible
-// node has capacity (the job stays queued).
-type Policy interface {
-	Name() string
-	Pick(job Job, nodes []cluster.NodeView) (node string, ok bool)
+// eligible reports whether a node can accept the job right now.
+func (j Job) eligible(v cluster.NodeView) bool {
+	if !v.Up || v.FreeSlots() <= 0 {
+		return false
+	}
+	return j.matches(v)
 }
 
-// FirstFit places each job on the first eligible node in configuration
-// order. Simple, deterministic, and prone to hot-spotting — the baseline.
-type FirstFit struct{}
-
-// Name implements Policy.
-func (FirstFit) Name() string { return "first-fit" }
-
-// Pick implements Policy.
-func (FirstFit) Pick(job Job, nodes []cluster.NodeView) (string, bool) {
+// Placeable reports whether some node can accept the job right now.
+func (j Job) Placeable(nodes []cluster.NodeView) bool {
 	for _, v := range nodes {
-		if job.eligible(v) {
-			return v.Name, true
-		}
-	}
-	return "", false
-}
-
-// LeastLoaded places each job on the eligible node with the most free
-// slots, breaking ties by effective speed then name. This is BioOpera's
-// default.
-type LeastLoaded struct{}
-
-// Name implements Policy.
-func (LeastLoaded) Name() string { return "least-loaded" }
-
-// Pick implements Policy.
-func (LeastLoaded) Pick(job Job, nodes []cluster.NodeView) (string, bool) {
-	best := -1
-	for i, v := range nodes {
-		if !job.eligible(v) {
-			continue
-		}
-		if best < 0 || better(v, nodes[best]) {
-			best = i
-		}
-	}
-	if best < 0 {
-		return "", false
-	}
-	return nodes[best].Name, true
-}
-
-func better(a, b cluster.NodeView) bool {
-	if a.FreeSlots() != b.FreeSlots() {
-		return a.FreeSlots() > b.FreeSlots()
-	}
-	if a.EffectiveSpeed() != b.EffectiveSpeed() {
-		return a.EffectiveSpeed() > b.EffectiveSpeed()
-	}
-	return a.Name < b.Name
-}
-
-// Fastest places each job on the eligible node with the highest effective
-// speed (speed × available share) — best when activity costs vary widely
-// and the cluster is heterogeneous.
-type Fastest struct{}
-
-// Name implements Policy.
-func (Fastest) Name() string { return "fastest" }
-
-// Pick implements Policy.
-func (Fastest) Pick(job Job, nodes []cluster.NodeView) (string, bool) {
-	best := -1
-	for i, v := range nodes {
-		if !job.eligible(v) {
-			continue
-		}
-		if best < 0 ||
-			v.EffectiveSpeed() > nodes[best].EffectiveSpeed() ||
-			(v.EffectiveSpeed() == nodes[best].EffectiveSpeed() && v.Name < nodes[best].Name) {
-			best = i
-		}
-	}
-	if best < 0 {
-		return "", false
-	}
-	return nodes[best].Name, true
-}
-
-// RoundRobin cycles through nodes, skipping ineligible ones. Stateful.
-type RoundRobin struct{ next int }
-
-// Name implements Policy.
-func (*RoundRobin) Name() string { return "round-robin" }
-
-// Pick implements Policy.
-func (r *RoundRobin) Pick(job Job, nodes []cluster.NodeView) (string, bool) {
-	n := len(nodes)
-	if n == 0 {
-		return "", false
-	}
-	for i := 0; i < n; i++ {
-		v := nodes[(r.next+i)%n]
-		if job.eligible(v) {
-			r.next = (r.next + i + 1) % n
-			return v.Name, true
-		}
-	}
-	return "", false
-}
-
-// Queue is the activity queue: pending jobs ordered by priority (higher
-// first) and FIFO within a priority.
-type Queue struct {
-	items []Job
-	seq   []int
-	n     int
-}
-
-// Len returns the number of queued jobs.
-func (q *Queue) Len() int { return len(q.items) }
-
-// Push enqueues a job.
-func (q *Queue) Push(j Job) {
-	q.n++
-	// Insert keeping (priority desc, seq asc) order.
-	pos := len(q.items)
-	for i, it := range q.items {
-		if j.Priority > it.Priority {
-			pos = i
-			break
-		}
-	}
-	q.items = append(q.items, Job{})
-	q.seq = append(q.seq, 0)
-	copy(q.items[pos+1:], q.items[pos:])
-	copy(q.seq[pos+1:], q.seq[pos:])
-	q.items[pos] = j
-	q.seq[pos] = q.n
-}
-
-// Peek returns the head job without removing it.
-func (q *Queue) Peek() (Job, bool) {
-	if len(q.items) == 0 {
-		return Job{}, false
-	}
-	return q.items[0], true
-}
-
-// Pop removes and returns the head job.
-func (q *Queue) Pop() (Job, bool) {
-	if len(q.items) == 0 {
-		return Job{}, false
-	}
-	j := q.items[0]
-	q.items = q.items[1:]
-	q.seq = q.seq[1:]
-	return j, true
-}
-
-// PopWhere removes and returns the first job (in queue order) for which a
-// placement exists, trying pick on each. It returns the job, the chosen
-// node, and ok.
-func (q *Queue) PopWhere(pick func(Job) (string, bool)) (Job, string, bool) {
-	for i, j := range q.items {
-		if node, ok := pick(j); ok {
-			q.items = append(q.items[:i], q.items[i+1:]...)
-			q.seq = append(q.seq[:i], q.seq[i+1:]...)
-			return j, node, true
-		}
-	}
-	return Job{}, "", false
-}
-
-// Remove deletes a queued job by ID, reporting whether it was present.
-func (q *Queue) Remove(id string) bool {
-	for i, j := range q.items {
-		if j.ID == id {
-			q.items = append(q.items[:i], q.items[i+1:]...)
-			q.seq = append(q.seq[:i], q.seq[i+1:]...)
+		if j.eligible(v) {
 			return true
 		}
 	}
 	return false
 }
 
-// Jobs returns the queued jobs in order (copy).
-func (q *Queue) Jobs() []Job { return append([]Job(nil), q.items...) }
-
-// MigrationPolicy decides whether a running job should be killed and
-// rescheduled elsewhere — the strategy discussed (and deferred) in §5.4:
-// "One strategy to solve this problem would be to have BioOpera abort the
-// affected TEU and re-schedule it elsewhere... If the non-BioOpera user
-// tends to fill all machines, such a strategy will perform worse than if
-// BioOpera had simply left the TEU where it was. If however the user tends
-// to use only a subset of the processors, the kill and restart strategy
-// may help."
-type MigrationPolicy struct {
-	// LoadThreshold is the external load above which a node's jobs are
-	// migration candidates.
-	LoadThreshold float64
-	// TargetMaxLoad is the maximum external load of an acceptable
-	// destination.
-	TargetMaxLoad float64
-}
-
-// DefaultMigrationPolicy returns the thresholds used by the experiments.
-func DefaultMigrationPolicy() MigrationPolicy {
-	return MigrationPolicy{LoadThreshold: 0.6, TargetMaxLoad: 0.2}
-}
-
-// Candidate is a running job considered for migration.
-type Candidate struct {
-	Job  string
-	Node string
-}
-
-// Decide returns the jobs to kill: one per free slot on a lightly loaded
-// destination, taken from the most heavily loaded source nodes first.
-func (p MigrationPolicy) Decide(running []Candidate, nodes []cluster.NodeView) []Candidate {
-	byName := make(map[string]cluster.NodeView, len(nodes))
-	freeGood := 0
-	for _, v := range nodes {
-		byName[v.Name] = v
-		if v.Up && v.ExtLoad <= p.TargetMaxLoad {
-			freeGood += v.FreeSlots()
-		}
+// Unplaceable reports whether the job can never be placed on the given
+// cluster view: it names specific nodes and every one of them is down or
+// unknown. Such a job must not queue silently forever — the engine surfaces
+// it as a task failure. A job without node affinity is never Unplaceable
+// (capacity and matching OSes can still appear), and a named node that is
+// merely full keeps the job placeable-later.
+func (j Job) Unplaceable(nodes []cluster.NodeView) bool {
+	if len(j.Nodes) == 0 {
+		return false
 	}
-	if freeGood == 0 {
-		return nil
-	}
-	var out []Candidate
-	for _, c := range running {
-		v, ok := byName[c.Node]
-		if !ok || !v.Up {
-			continue
-		}
-		if v.ExtLoad >= p.LoadThreshold {
-			out = append(out, c)
-			if len(out) == freeGood {
-				break
+	for _, want := range j.Nodes {
+		for _, v := range nodes {
+			if v.Name == want && v.Up {
+				return false
 			}
 		}
 	}
-	return out
+	return true
 }

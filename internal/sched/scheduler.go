@@ -1,0 +1,135 @@
+package sched
+
+import (
+	"sort"
+	"time"
+
+	"bioopera/internal/cluster"
+)
+
+// Config configures a Scheduler.
+type Config struct {
+	// Policy places jobs on nodes; defaults to LeastLoaded.
+	Policy Policy
+	// Quotas assigns per-tenant fair-share weights (unlisted tenants
+	// weigh 1).
+	Quotas map[string]float64
+	// Alpha is the Predictor's EWMA smoothing factor (default
+	// DefaultEWMAAlpha).
+	Alpha float64
+}
+
+// Scheduler composes the queue, the placement policy and the cost
+// predictor behind the facade the core dispatcher drives. It is not
+// internally synchronized: the engine serializes every call under its
+// dispatch lock, exactly as it did for the bare Queue.
+type Scheduler struct {
+	queue  Queue
+	policy Policy
+	pred   *Predictor
+	quotas map[string]float64 // retained to survive Reset
+}
+
+// New builds a scheduler.
+func New(cfg Config) *Scheduler {
+	if cfg.Policy == nil {
+		cfg.Policy = LeastLoaded{}
+	}
+	s := &Scheduler{policy: cfg.Policy, pred: NewPredictor(cfg.Alpha), quotas: cfg.Quotas}
+	s.applyQuotas()
+	return s
+}
+
+func (s *Scheduler) applyQuotas() {
+	names := make([]string, 0, len(s.quotas))
+	for t := range s.quotas {
+		names = append(names, t)
+	}
+	sort.Strings(names)
+	for _, t := range names {
+		s.queue.SetQuota(t, s.quotas[t])
+	}
+}
+
+// PolicyName names the active placement policy.
+func (s *Scheduler) PolicyName() string { return s.policy.Name() }
+
+// Enqueue adds a job to the queue.
+func (s *Scheduler) Enqueue(j Job) { s.queue.Push(j) }
+
+// Next pops the first job in dispatch order that passes admit (nil admits
+// everything) and that the policy can place, returning the job and its
+// node. The dispatching tenant is charged the job's calibrated cost
+// estimate, advancing the fair-share order.
+func (s *Scheduler) Next(nodes []cluster.NodeView, admit func(Job) bool) (Job, string, bool) {
+	j, node, ok := s.queue.PopWhere(func(j Job) (string, bool) {
+		if admit != nil && !admit(j) {
+			return "", false
+		}
+		return s.policy.Pick(j, nodes)
+	})
+	if ok {
+		s.queue.Charge(j.Tenant, s.Estimate(j.Key, j.Cost).Seconds())
+	}
+	return j, node, ok
+}
+
+// TakeUnplaceable removes and returns (in dispatch order) every queued
+// job that can never be placed on the given cluster view — its Nodes list
+// names only down or unknown nodes. The engine surfaces each as a task
+// failure instead of leaving it queued forever.
+func (s *Scheduler) TakeUnplaceable(nodes []cluster.NodeView) []Job {
+	var dead []Job
+	for _, j := range s.queue.Jobs() {
+		if j.Unplaceable(nodes) {
+			dead = append(dead, j)
+		}
+	}
+	for _, j := range dead {
+		s.queue.Remove(j.ID)
+	}
+	return dead
+}
+
+// Remove deletes a queued job by ID.
+func (s *Scheduler) Remove(id string) bool { return s.queue.Remove(id) }
+
+// Len reports the queue depth.
+func (s *Scheduler) Len() int { return s.queue.Len() }
+
+// Jobs returns the queued jobs in dispatch order.
+func (s *Scheduler) Jobs() []Job { return s.queue.Jobs() }
+
+// DepthByTenant reports queue depth per tenant.
+func (s *Scheduler) DepthByTenant() map[string]int { return s.queue.DepthByTenant() }
+
+// DepthByPriority reports queue depth per priority level.
+func (s *Scheduler) DepthByPriority() map[int]int { return s.queue.DepthByPriority() }
+
+// Usage reports a tenant's accumulated fair-share charge.
+func (s *Scheduler) Usage(tenant string) float64 { return s.queue.Usage(tenant) }
+
+// Charge accrues extra usage against a tenant — for work accounted outside
+// the ordinary dispatch path (Next charges automatically).
+func (s *Scheduler) Charge(tenant string, amount float64) { s.queue.Charge(tenant, amount) }
+
+// Observe feeds one completed activity into the predictor.
+func (s *Scheduler) Observe(key string, estimated, actual time.Duration) {
+	s.pred.Observe(key, estimated, actual)
+}
+
+// Estimate returns the calibrated cost estimate for a program key.
+func (s *Scheduler) Estimate(key string, model time.Duration) time.Duration {
+	return s.pred.Estimate(key, model)
+}
+
+// Predictor exposes the cost predictor (for inspection and reports).
+func (s *Scheduler) Predictor() *Predictor { return s.pred }
+
+// Reset wipes the queue and fair-share usage — the engine's crash
+// semantics: volatile scheduling state vanishes, configuration (quotas,
+// policy) and learned calibration survive with the process.
+func (s *Scheduler) Reset() {
+	s.queue = Queue{}
+	s.applyQuotas()
+}

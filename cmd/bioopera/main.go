@@ -13,6 +13,7 @@
 //	bioopera allvsall [flags]             real all-vs-all on synthetic sequences
 //	bioopera tower [flags]                real tower-of-information pipeline
 //	bioopera serve <file.ocr> [flags]     engine server for remote worker agents
+//	bioopera standby <file.ocr> [flags]   hot standby following a serve -ship primary
 //	bioopera worker <file.ocr> [flags]    worker agent executing launched activities
 package main
 
@@ -56,6 +57,8 @@ func main() {
 		err = cmdTower(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
+	case "standby":
+		err = cmdStandby(os.Args[2:])
 	case "worker":
 		err = cmdWorker(os.Args[2:])
 	case "history":
@@ -85,6 +88,7 @@ commands:
   allvsall [flags]             run a real all-vs-all on synthetic sequences
   tower [flags]                run the real tower-of-information pipeline
   serve <file.ocr> [flags]     run the engine as a server for remote workers
+  standby <file.ocr> [flags]   follow a serve -ship primary; promote on failure
   worker <file.ocr> [flags]    run a worker agent against a serve instance
   history <store-dir> [flags]  inspect a persistent store: past runs, events
 

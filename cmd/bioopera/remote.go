@@ -13,6 +13,7 @@ import (
 	"bioopera/internal/obs"
 	"bioopera/internal/remote"
 	"bioopera/internal/sched"
+	"bioopera/internal/store"
 )
 
 // parseQuotas turns repeated tenant=weight flags into the scheduler's
@@ -54,6 +55,7 @@ func cmdServe(args []string) error {
 	beat := fs.Duration("heartbeat", time.Second, "worker heartbeat cadence")
 	beatTimeout := fs.Duration("heartbeat-timeout", 0, "silence before a worker is declared dead (default 3× heartbeat)")
 	storeDir := fs.String("store", "", "persist state and history to this directory")
+	ship := fs.String("ship", "", "serve the store's WAL to hot standbys on this address (requires -store)")
 	monitor := fs.String("monitor", "", "HTTP monitor address (e.g. 127.0.0.1:8080); serves /metrics and /api/*")
 	verbose := fs.Bool("v", false, "log protocol and node events")
 	file, err := fileThenFlags(fs, args, "usage: bioopera serve <file.ocr> [flags]")
@@ -88,6 +90,9 @@ func cmdServe(args []string) error {
 		reg = obs.NewRegistry()
 		ring = obs.NewRing(1024)
 	}
+	if *ship != "" && *storeDir == "" {
+		return fmt.Errorf("-ship requires -store: only a disk store's WAL can be shipped")
+	}
 	st, err := openStoreWith(*storeDir, reg)
 	if err != nil {
 		return err
@@ -103,6 +108,7 @@ func cmdServe(args []string) error {
 		Library:          stubLibrary(ps, *verbose),
 		Policy:           pol,
 		Quotas:           quotas,
+		ShipAddr:         *ship,
 		HeartbeatEvery:   *beat,
 		HeartbeatTimeout: *beatTimeout,
 		Logf:             logf,
@@ -146,6 +152,9 @@ func cmdServe(args []string) error {
 		defer msrv.Close()
 		fmt.Printf("monitor on http://%s (try /metrics, /api/instances, /api/cluster)\n", msrv.Addr())
 	}
+	if rt.Shipper != nil {
+		fmt.Printf("shipping WAL to standbys on %s\n", rt.Shipper.Addr())
+	}
 	fmt.Printf("listening on %s, waiting for %d worker(s)\n", rt.Addr(), *workers)
 	deadline := time.Now().Add(*timeout)
 	for {
@@ -177,6 +186,111 @@ func cmdServe(args []string) error {
 		ch := make(chan os.Signal, 1)
 		signal.Notify(ch, os.Interrupt)
 		<-ch
+	}
+	return nil
+}
+
+// cmdStandby runs a hot standby: it follows a primary server's WAL stream
+// (serve -ship) into its own store directory, and when the primary dies it
+// promotes — recovering every unfinished instance from the replicated
+// store and serving workers itself, so the in-flight run resumes where the
+// primary's last committed batch left it.
+func cmdStandby(args []string) error {
+	fs := flag.NewFlagSet("standby", flag.ExitOnError)
+	follow := fs.String("follow", "127.0.0.1:7071", "primary's WAL shipping address (its -ship)")
+	listen := fs.String("listen", "127.0.0.1:7070", "TCP address for worker agents after promotion")
+	storeDir := fs.String("store", "", "standby store directory (required; must differ from the primary's)")
+	workers := fs.Int("workers", 1, "worker agents to wait for after promotion")
+	timeout := fs.Duration("timeout", 10*time.Minute, "completion timeout after promotion")
+	beat := fs.Duration("heartbeat", time.Second, "worker heartbeat cadence")
+	beatTimeout := fs.Duration("heartbeat-timeout", 0, "silence before a worker is declared dead (default 3× heartbeat)")
+	lazy := fs.Bool("lazy-recovery", false, "recover suspended instances as stubs, hydrated on first touch")
+	verbose := fs.Bool("v", false, "log protocol and replication events")
+	file, err := fileThenFlags(fs, args, "usage: bioopera standby <file.ocr> [flags]")
+	if err != nil {
+		return err
+	}
+	ps, err := loadFile(file)
+	if err != nil {
+		return err
+	}
+	if *storeDir == "" {
+		return fmt.Errorf("standby requires -store: the replica needs its own directory")
+	}
+	var logf func(string, ...any)
+	if *verbose {
+		logf = func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) }
+	}
+	sb, err := store.OpenStandby(*storeDir, store.DiskOptions{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("standby: following %s into %s\n", *follow, *storeDir)
+	if err := sb.Follow(*follow, logf); err == nil {
+		// Closed locally — nothing to promote.
+		return sb.Close()
+	} else {
+		fmt.Printf("standby: primary lost (%v); promoting\n", err)
+	}
+	disk, err := sb.Promote()
+	if err != nil {
+		return err
+	}
+	defer disk.Close()
+	rt, err := remote.NewRuntime(remote.Config{
+		Addr:             *listen,
+		Store:            disk,
+		Library:          stubLibrary(ps, *verbose),
+		LazyRecovery:     *lazy,
+		HeartbeatEvery:   *beat,
+		HeartbeatTimeout: *beatTimeout,
+		Logf:             logf,
+		OnError: func(err error) {
+			fmt.Fprintf(os.Stderr, "bioopera: %v\n", err)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer rt.Close()
+	var recovered int
+	var recErr error
+	rt.Do(func(e *core.Engine) { recovered, recErr = e.Recover() })
+	if recErr != nil {
+		// Partial recovery still serves what it could rebuild.
+		fmt.Fprintf(os.Stderr, "standby: recovery: %v\n", recErr)
+	}
+	fmt.Printf("standby: promoted; %d instance(s) recovered, listening on %s, waiting for %d worker(s)\n",
+		recovered, rt.Addr(), *workers)
+	deadline := time.Now().Add(*timeout)
+	for {
+		if n, _, _ := rt.Server.Stats(); n >= *workers {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("no %d workers connected within %v", *workers, *timeout)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	// Drive every recovered running instance to completion.
+	var ids []string
+	rt.Do(func(e *core.Engine) {
+		for _, in := range e.Instances() {
+			ids = append(ids, in.ID)
+		}
+	})
+	for _, id := range ids {
+		st, _, err := rt.InstanceStatus(id)
+		if err != nil || (st != core.InstanceRunning) {
+			continue
+		}
+		in, err := rt.Wait(id, *timeout)
+		if err != nil {
+			return err
+		}
+		if err := report(in); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -139,6 +139,17 @@ type Options struct {
 	// 1 serializes all instances against each other — the pre-sharding
 	// behaviour, kept as a benchmark baseline.
 	Shards int
+	// RecoverWorkers bounds the goroutines that decode and rebuild
+	// instances during Recover (default: Shards). Decoding dominates
+	// recovery cost and is per-instance, so it parallelizes cleanly; the
+	// resume phase stays serial either way, keeping traces deterministic.
+	RecoverWorkers int
+	// LazyRecovery makes Recover materialize suspended instances as
+	// meta-only stubs whose scope records are decoded on first mutating
+	// touch (Resume, Abort, Signal, SetParameter, Lineage). Boot time
+	// then scales with the active fraction of the store, not its size;
+	// observers (monitor, Progress) see a meta-only view of stubs.
+	LazyRecovery bool
 	// OnInstanceDone fires when an instance reaches Done or Failed.
 	OnInstanceDone func(*Instance)
 	// OnEvent observes every engine event (may be nil). It may be called
@@ -223,6 +234,9 @@ func New(opts Options) (*Engine, error) {
 	}
 	if opts.Shards <= 0 {
 		opts.Shards = DefaultShards
+	}
+	if opts.RecoverWorkers <= 0 {
+		opts.RecoverWorkers = opts.Shards
 	}
 	if opts.After == nil {
 		opts.After = func(d time.Duration, f func()) func() {
@@ -620,6 +634,10 @@ func (e *Engine) Resume(id string) error {
 		return fmt.Errorf("%w: instance %s is %s", ErrBadState, id, in.Status)
 	}
 	e.beginTurn(in)
+	if err := e.hydrateLocked(in); err != nil {
+		e.endTurn(in, mu, false)
+		return err
+	}
 	in.setStatus(InstanceRunning)
 	e.emit(Event{Kind: EvInstanceResumed, Instance: id})
 	e.persist(in)
@@ -640,6 +658,12 @@ func (e *Engine) Abort(id string, reason string) error {
 		return fmt.Errorf("%w: instance %s is %s", ErrBadState, id, in.Status)
 	}
 	e.beginTurn(in)
+	// A lazy stub must hydrate first: archive captures the full scope
+	// tree, and failing a meta-only shell would strand its delta records.
+	if err := e.hydrateLocked(in); err != nil {
+		e.endTurn(in, mu, false)
+		return err
+	}
 	e.failInstance(in, "aborted: "+reason)
 	e.endTurn(in, mu, false)
 	return nil
@@ -660,6 +684,10 @@ func (e *Engine) SetParameter(id, name string, v ocr.Value) error {
 		return fmt.Errorf("%w: instance %s is %s", ErrBadState, id, in.Status)
 	}
 	e.beginTurn(in)
+	if err := e.hydrateLocked(in); err != nil {
+		e.endTurn(in, mu, false)
+		return err
+	}
 	e.setWB(in, in.root, name, v)
 	e.persist(in)
 	e.endTurn(in, mu, false)

@@ -1,0 +1,40 @@
+package core
+
+import (
+	"testing"
+
+	"bioopera/internal/store"
+)
+
+// FuzzDecodeInstanceRecords hammers the delta-record decode path with
+// arbitrary key/value pairs. Recovery feeds this function raw store
+// contents, so it must never panic — corrupt input yields an error (or is
+// ignored for unrecognized keys), nothing else. Torn JSON, truncated keys,
+// wrong prefixes, and embedded separators are all fair game.
+func FuzzDecodeInstanceRecords(f *testing.F) {
+	// Well-formed seeds, one per record family, plus near-misses.
+	f.Add("scopec/p0001/-", []byte(`{"id":"","proc":"PROCESS P {}"}`), "task/p0001/-/Add", []byte(`{"name":"Add","state":"ready"}`))
+	f.Add("scoped/p0001/-", []byte(`{"id":""}`), "proc/p0001/0011223344556677", []byte("PROCESS P {}"))
+	f.Add("scope/p0001/-", []byte(`{"id":"","tasks":[]}`), "scopec/p0001/Fan[2]", []byte(`{"id":"Fan[2]"}`))
+	f.Add("task/p0001", []byte("{"), "scopec/", []byte("null"))
+	f.Add("task/p0001/A/B[1]/T", []byte(`{"name":"T"}`), "scoped/p0001/-", []byte("{torn"))
+	f.Add("", []byte(""), "proc//", []byte{0xff, 0xfe})
+	f.Fuzz(func(t *testing.T, k1 string, v1 []byte, k2 string, v2 []byte) {
+		kvs := []store.KV{{Key: k1, Value: v1}, {Key: k2, Value: v2}}
+		recMap, procs, err := decodeInstanceRecords(kvs)
+		if err != nil {
+			return
+		}
+		// On success the maps must be well-formed: no nil records, and
+		// every record's scopeID matches its map key.
+		for id, r := range recMap {
+			if r == nil {
+				t.Fatalf("nil scopeRec under %q", id)
+			}
+			if r.scopeID != id {
+				t.Fatalf("scopeRec %q filed under %q", r.scopeID, id)
+			}
+		}
+		_ = procs
+	})
+}

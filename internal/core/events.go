@@ -83,6 +83,12 @@ func (e *Engine) Signal(instanceID, event string, payload map[string]ocr.Value) 
 		return fmt.Errorf("%w: instance %s is %s", ErrBadState, instanceID, in.Status)
 	}
 	e.beginTurn(in)
+	// Hydrating re-arms the stub's AWAIT waits, so this signal can be
+	// delivered (or buffered) against the instance's real wait set.
+	if err := e.hydrateLocked(in); err != nil {
+		e.endTurn(in, mu, false)
+		return err
+	}
 	e.emit(Event{Kind: EvSignal, Instance: instanceID, Detail: event})
 	key := eventKey(instanceID, event)
 	e.dmu.Lock()

@@ -54,6 +54,17 @@ func (e *Engine) Lineage(instanceID string) (*Lineage, error) {
 	}
 	mu := e.shardFor(instanceID)
 	mu.Lock()
+	if in.stub != nil {
+		// Hydrate inside its own turn so the checkpoints it produces
+		// flush, then re-take the shard for the graph read.
+		e.beginTurn(in)
+		err := e.hydrateLocked(in)
+		e.endTurn(in, mu, false)
+		if err != nil {
+			return nil, err
+		}
+		mu.Lock()
+	}
 	defer mu.Unlock()
 	lg := &Lineage{
 		Items:    make(map[string]*LineageNode),

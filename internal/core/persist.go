@@ -6,7 +6,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"sort"
-	"strings"
 	"sync"
 	"time"
 
@@ -694,550 +693,5 @@ func (e *Engine) QuiesceCheckpoints() {
 	e.emu.RUnlock()
 	for _, in := range ins {
 		e.quiesceInstance(in)
-	}
-}
-
-// scopeRec collects one scope's persisted records during recovery: the
-// legacy whole-scope record (if any) is the base, overlaid by the delta
-// records.
-type scopeRec struct {
-	scopeID string
-	legacy  *scopeDTO
-	create  *scopeCreateDTO
-	dyn     *scopeDynDTO
-	tasks   map[string]taskDTO
-}
-
-// splitInstKey splits "<inst>/<rest>" (instance IDs contain no '/').
-func splitInstKey(rest string) (instID, sub string, ok bool) {
-	slash := strings.IndexByte(rest, '/')
-	if slash < 0 {
-		return "", "", false
-	}
-	return rest[:slash], rest[slash+1:], true
-}
-
-// Recover rebuilds all unfinished instances from the store after a server
-// restart or crash. Both record layouts are understood — a mixed store
-// (legacy whole-scope records alongside delta records) recovers cleanly,
-// and legacy scopes are converted to the delta layout by their first
-// post-recovery checkpoint. Activities recorded as running are treated as
-// lost and re-queued; in-flight navigation is re-derived. It returns the
-// number of instances recovered.
-func (e *Engine) Recover() (int, error) {
-	kvs, err := e.opts.Store.List(store.Instance)
-	if err != nil {
-		return 0, err
-	}
-	metas := map[string]instanceDTO{}
-	recs := map[string]map[string]*scopeRec{} // instance ID → scope ID → records
-	procs := map[string]map[string]string{}   // instance ID → hash → text
-	rec := func(instID, scopeID string) *scopeRec {
-		m := recs[instID]
-		if m == nil {
-			m = make(map[string]*scopeRec)
-			recs[instID] = m
-		}
-		r := m[scopeID]
-		if r == nil {
-			r = &scopeRec{scopeID: scopeID, tasks: make(map[string]taskDTO)}
-			m[scopeID] = r
-		}
-		return r
-	}
-	for _, kv := range kvs {
-		switch {
-		case strings.HasPrefix(kv.Key, "inst/"):
-			var dto instanceDTO
-			if err := json.Unmarshal(kv.Value, &dto); err != nil {
-				return 0, fmt.Errorf("core: corrupt instance record %s: %w", kv.Key, err)
-			}
-			metas[dto.ID] = dto
-		case strings.HasPrefix(kv.Key, "scope/"):
-			instID, _, ok := splitInstKey(strings.TrimPrefix(kv.Key, "scope/"))
-			if !ok {
-				continue
-			}
-			var dto scopeDTO
-			if err := json.Unmarshal(kv.Value, &dto); err != nil {
-				return 0, fmt.Errorf("core: corrupt scope record %s: %w", kv.Key, err)
-			}
-			rec(instID, dto.ID).legacy = &dto
-		case strings.HasPrefix(kv.Key, "scopec/"):
-			instID, _, ok := splitInstKey(strings.TrimPrefix(kv.Key, "scopec/"))
-			if !ok {
-				continue
-			}
-			var dto scopeCreateDTO
-			if err := json.Unmarshal(kv.Value, &dto); err != nil {
-				return 0, fmt.Errorf("core: corrupt scope-create record %s: %w", kv.Key, err)
-			}
-			rec(instID, dto.ID).create = &dto
-		case strings.HasPrefix(kv.Key, "scoped/"):
-			instID, sub, ok := splitInstKey(strings.TrimPrefix(kv.Key, "scoped/"))
-			if !ok {
-				continue
-			}
-			var dto scopeDynDTO
-			if err := json.Unmarshal(kv.Value, &dto); err != nil {
-				return 0, fmt.Errorf("core: corrupt scope-dynamic record %s: %w", kv.Key, err)
-			}
-			scopeID := sub
-			if scopeID == "-" {
-				scopeID = ""
-			}
-			rec(instID, scopeID).dyn = &dto
-		case strings.HasPrefix(kv.Key, "task/"):
-			instID, sub, ok := splitInstKey(strings.TrimPrefix(kv.Key, "task/"))
-			if !ok {
-				continue
-			}
-			// The task name follows the last '/': scope IDs may nest
-			// ("A/B[3]"), task names cannot contain '/'.
-			slash := strings.LastIndexByte(sub, '/')
-			if slash < 0 {
-				continue
-			}
-			scopeID, task := sub[:slash], sub[slash+1:]
-			if scopeID == "-" {
-				scopeID = ""
-			}
-			var dto taskDTO
-			if err := json.Unmarshal(kv.Value, &dto); err != nil {
-				return 0, fmt.Errorf("core: corrupt task record %s: %w", kv.Key, err)
-			}
-			if dto.Name == "" {
-				dto.Name = task
-			}
-			rec(instID, scopeID).tasks[dto.Name] = dto
-		case strings.HasPrefix(kv.Key, "proc/"):
-			instID, hash, ok := splitInstKey(strings.TrimPrefix(kv.Key, "proc/"))
-			if !ok {
-				continue
-			}
-			if procs[instID] == nil {
-				procs[instID] = make(map[string]string)
-			}
-			procs[instID][hash] = string(kv.Value)
-		}
-	}
-
-	ids := make([]string, 0, len(metas))
-	for id := range metas {
-		ids = append(ids, id)
-	}
-	sort.Strings(ids)
-
-	// Parsed processes are cached by content across the whole pass, so the
-	// N children of a parallel block (and converted legacy scopes carrying
-	// identical body text) parse once, not N times. Processes are read-only
-	// during navigation, so sharing is safe.
-	procCache := make(map[string]*ocr.Process)
-
-	recovered := 0
-	for _, id := range ids {
-		meta := metas[id]
-		if _, exists := e.lookup(id); exists {
-			continue // already live (Recover on a running engine)
-		}
-		// Rebuild under the instance's shard so concurrent pumps that
-		// pick up the requeued work serialize against the rebuild.
-		mu := e.shardFor(id)
-		mu.Lock()
-		in, err := e.rebuildInstance(meta, recs[id], procs[id], procCache)
-		if err != nil {
-			mu.Unlock()
-			return recovered, err
-		}
-		e.emu.Lock()
-		e.instances[id] = in
-		e.order = append(e.order, id)
-		// Track the numeric suffix so new IDs stay unique.
-		var n int
-		if _, err := fmt.Sscanf(id, "p%d", &n); err == nil && n > e.nextID {
-			e.nextID = n
-		}
-		e.emu.Unlock()
-		recovered++
-		e.emit(Event{Kind: EvServerRecovered, Instance: id,
-			Detail: fmt.Sprintf("status=%s", in.Status)})
-		// Checkpoint the rebuilt state: legacy scopes convert to the delta
-		// layout here (their whole-scope records are deleted in the same
-		// atomic batch that writes the replacement records).
-		if len(in.dirty) > 0 || len(in.pendingDeletes) > 0 {
-			e.persist(in)
-		}
-		e.endTurn(in, mu, false)
-	}
-	e.Pump()
-	return recovered, nil
-}
-
-// rebuildInstance reconstructs one instance from its records and resumes
-// navigation.
-func (e *Engine) rebuildInstance(meta instanceDTO, recMap map[string]*scopeRec, procTexts map[string]string, procCache map[string]*ocr.Process) (*Instance, error) {
-	in := &Instance{
-		ID: meta.ID, Template: meta.Template,
-		Priority: meta.Priority, Nice: meta.Nice, Tenant: meta.Tenant,
-		Started: meta.Started, Ended: meta.Ended,
-		Activities: meta.Activities, CPU: meta.CPU,
-		Failures: meta.Failures, Retries: meta.Retries,
-		Outputs: meta.Outputs, FailureReason: meta.FailureReason,
-		scopes: make(map[string]*scope),
-	}
-	in.setStatus(meta.Status)
-	in.procRefs = make(map[string]bool, len(procTexts))
-	for hash := range procTexts {
-		in.procRefs[hash] = true
-	}
-	// Sort records so parents come before children (shorter IDs first;
-	// root "" is shortest) — children re-inherit whiteboard values from
-	// the already-rebuilt parent.
-	scopeRecs := make([]*scopeRec, 0, len(recMap))
-	for _, r := range recMap {
-		scopeRecs = append(scopeRecs, r)
-	}
-	sort.Slice(scopeRecs, func(i, j int) bool {
-		if len(scopeRecs[i].scopeID) != len(scopeRecs[j].scopeID) {
-			return len(scopeRecs[i].scopeID) < len(scopeRecs[j].scopeID)
-		}
-		return scopeRecs[i].scopeID < scopeRecs[j].scopeID
-	})
-	parse := func(text, where string) (*ocr.Process, error) {
-		if p, ok := procCache[text]; ok {
-			return p, nil
-		}
-		p, err := ocr.ParseProcess(text)
-		if err != nil {
-			return nil, fmt.Errorf("core: scope %s has invalid process text: %w", where, err)
-		}
-		procCache[text] = p
-		return p, nil
-	}
-	for _, r := range scopeRecs {
-		where := meta.ID + "/" + nzScope(r.scopeID)
-		// Shape: the delta create record wins; legacy is the fallback.
-		var (
-			text       string
-			parentID   string
-			isRoot     bool
-			parentTask string
-			elemIndex  int
-		)
-		switch {
-		case r.create != nil:
-			parentID, isRoot = r.create.Parent, r.create.IsRoot
-			parentTask, elemIndex = r.create.ParentTask, r.create.ElemIndex
-			switch {
-			case r.create.ProcRef != "":
-				var ok bool
-				text, ok = procTexts[r.create.ProcRef]
-				if !ok {
-					return nil, fmt.Errorf("core: scope %s references missing process text %s", where, r.create.ProcRef)
-				}
-			case r.create.ProcText != "":
-				text = r.create.ProcText
-			default:
-				return nil, fmt.Errorf("core: scope %s has no process text", where)
-			}
-		case r.legacy != nil:
-			parentID, isRoot = r.legacy.Parent, r.legacy.IsRoot
-			parentTask, elemIndex = r.legacy.ParentTask, r.legacy.ElemIndex
-			text = r.legacy.ProcText
-		default:
-			return nil, fmt.Errorf("core: scope %s has no create record", where)
-		}
-		proc, err := parse(text, where)
-		if err != nil {
-			return nil, err
-		}
-		sc := &scope{
-			ID:         r.scopeID,
-			Proc:       proc,
-			ParentTask: parentTask,
-			ElemIndex:  elemIndex,
-			Whiteboard: make(map[string]ocr.Value),
-			Tasks:      make(map[string]*taskState),
-			children:   make(map[string]*scope),
-		}
-		if !isRoot {
-			parent := in.scopes[parentID]
-			if parent == nil {
-				return nil, fmt.Errorf("core: scope %s has missing parent %q", where, parentID)
-			}
-			sc.Parent = parent
-			parent.children[sc.ID] = sc
-		} else {
-			in.root = sc
-		}
-		// Whiteboard: the dynamic record's owned entries overlay what the
-		// scope inherits from its parent; Full records (and legacy ones)
-		// are self-contained.
-		switch {
-		case r.dyn != nil:
-			sc.Done = r.dyn.Done
-			if r.dyn.Full {
-				sc.wbFull = true
-				for k, v := range r.dyn.Entries {
-					sc.Whiteboard[k] = v
-				}
-			} else {
-				if sc.Parent != nil {
-					for k, v := range sc.Parent.Whiteboard {
-						sc.Whiteboard[k] = v
-					}
-				}
-				for _, k := range r.dyn.Drop {
-					delete(sc.Whiteboard, k)
-					sc.ownWB(k, false)
-				}
-				entries := make([]string, 0, len(r.dyn.Entries))
-				for k := range r.dyn.Entries {
-					entries = append(entries, k)
-				}
-				sort.Strings(entries)
-				for _, k := range entries {
-					sc.Whiteboard[k] = r.dyn.Entries[k]
-					sc.ownWB(k, true)
-				}
-			}
-		case r.legacy != nil:
-			sc.Done = r.legacy.Done
-			sc.wbFull = true
-			for k, v := range r.legacy.Whiteboard {
-				sc.Whiteboard[k] = v
-			}
-		}
-		// Tasks: legacy records are the base, delta task records overlay.
-		applyTask := func(td taskDTO) {
-			sc.Tasks[td.Name] = &taskState{
-				Name: td.Name, Status: td.Status, Attempts: td.Attempts,
-				Inputs: td.Inputs, Outputs: td.Outputs,
-				Node: td.Node, Job: td.Job, AltOf: td.AltOf,
-				ReadyAt: td.ReadyAt, StartedAt: td.StartedAt, EndedAt: td.EndedAt,
-				CPUTime: td.CPUTime, ChildWaiting: td.ChildWaiting,
-				Results: td.Results, OverElems: td.OverElems,
-				ConnIn: make([]connState, len(proc.Incoming(td.Name))),
-			}
-		}
-		if r.legacy != nil {
-			for _, td := range r.legacy.Tasks {
-				applyTask(td)
-			}
-		}
-		taskNames := make([]string, 0, len(r.tasks))
-		for name := range r.tasks {
-			taskNames = append(taskNames, name)
-		}
-		sort.Strings(taskNames)
-		for _, name := range taskNames {
-			applyTask(r.tasks[name])
-		}
-		// Tasks present in the process but missing from the records
-		// (older snapshot) start inactive.
-		for _, t := range proc.Tasks {
-			if _, ok := sc.Tasks[t.Name]; !ok {
-				sc.Tasks[t.Name] = &taskState{
-					Name:   t.Name,
-					ConnIn: make([]connState, len(proc.Incoming(t.Name))),
-				}
-			}
-		}
-		if r.legacy != nil && r.create == nil {
-			// Legacy-only scope: convert it. The first checkpoint writes
-			// the full delta-record set and deletes the whole-scope record
-			// in the same atomic batch.
-			sc.wbFull = true
-			e.touchNew(in, sc)
-			for _, t := range sc.Proc.Tasks {
-				if ts := sc.Tasks[t.Name]; ts.Status != TaskInactive || ts.Inputs != nil {
-					e.touchTask(in, sc, ts)
-				}
-			}
-			in.pendingDeletes = append(in.pendingDeletes, legacyScopeKey(in.ID, sc.ID))
-		}
-		in.scopes[sc.ID] = sc
-	}
-	if in.root == nil {
-		return nil, fmt.Errorf("core: instance %s has no root scope record", meta.ID)
-	}
-
-	if in.Status == InstanceDone || in.Status == InstanceFailed {
-		return in, nil
-	}
-
-	// Resume execution state, children before parents.
-	ordered := make([]*scope, 0, len(in.scopes))
-	for _, sc := range in.scopes {
-		ordered = append(ordered, sc)
-	}
-	sort.Slice(ordered, func(i, j int) bool {
-		if len(ordered[i].ID) != len(ordered[j].ID) {
-			return len(ordered[i].ID) > len(ordered[j].ID)
-		}
-		return ordered[i].ID < ordered[j].ID
-	})
-	for _, sc := range ordered {
-		e.resumeScope(in, sc)
-		if in.Status == InstanceFailed {
-			return in, nil
-		}
-	}
-	for _, sc := range ordered {
-		e.maybeCompleteScope(in, sc)
-		if in.Status == InstanceFailed || in.Status == InstanceDone {
-			break
-		}
-	}
-	return in, nil
-}
-
-// resumeScope restores per-task execution state of one scope: requeues
-// lost work, respawns missing child scopes, and re-derives connector
-// decisions for tasks that never activated.
-func (e *Engine) resumeScope(in *Instance, sc *scope) {
-	for _, t := range sc.Proc.Tasks {
-		ts := sc.Tasks[t.Name]
-		switch ts.Status {
-		case TaskReady:
-			// Was queued; re-queue.
-			e.requeue(in, sc, t, ts)
-		case TaskRunning:
-			switch t.Kind {
-			case ocr.KindActivity:
-				if t.Await != "" {
-					// Still waiting for its event; re-arm
-					// the wait (signals buffered before the
-					// crash are volatile and lost, as is a
-					// signal — the sender re-sends).
-					ts.Status = TaskInactive
-					e.awaitEvent(in, sc, t, ts)
-					continue
-				}
-				// Dispatched but no completion recorded: the
-				// work is lost; re-queue (§3.3:
-				// checkpointing at activity granularity).
-				in.Failures++
-				in.Retries++
-				ts.Status = TaskReady
-				ts.Node = ""
-				e.emit(Event{Kind: EvTaskRetried, Instance: in.ID, Scope: sc.ID,
-					Task: t.Name, Detail: "lost in server crash"})
-				e.requeue(in, sc, t, ts)
-			case ocr.KindBlock:
-				e.resumeBlock(in, sc, t, ts)
-			case ocr.KindSubprocess:
-				e.resumeChildScope(in, sc, t, ts, func() {
-					ts.ChildWaiting = 1
-					e.spawnSubprocess(in, sc, t, ts)
-				})
-			}
-		}
-	}
-	// Root activations are unconditional at scope start, so a root still
-	// inactive in the checkpoint means its activation was lost (crash
-	// between the scope's first checkpoint and the next one). Re-derive
-	// it; activateTask is a no-op for tasks past inactive.
-	if !sc.Done {
-		e.activateRoots(in, sc)
-		if in.Status == InstanceFailed {
-			return
-		}
-	}
-	// Re-derive connector decisions from terminal tasks so targets that
-	// had not yet activated (or whose activation was not persisted)
-	// activate now. Delivery skips targets that are no longer
-	// inactive.
-	for _, t := range sc.Proc.Tasks {
-		ts := sc.Tasks[t.Name]
-		if ts.Status == TaskEnded || ts.Status == TaskDead {
-			e.propagate(in, sc, t, ts)
-			if in.Status == InstanceFailed {
-				return
-			}
-		}
-	}
-	e.touchMeta(in, sc)
-}
-
-// resumeChildScope handles a Running block/subprocess task whose single
-// child scope may be missing (respawn) or already Done (redeliver its
-// outputs — the crash happened between child completion and parent
-// delivery).
-func (e *Engine) resumeChildScope(in *Instance, sc *scope, t *ocr.Task, ts *taskState, respawn func()) {
-	childID := scopePath(sc, t.Name, -1)
-	child, ok := in.scopes[childID]
-	if !ok {
-		respawn()
-		return
-	}
-	if child.Done {
-		outputs := make(map[string]ocr.Value, len(child.Proc.Outputs))
-		for _, o := range child.Proc.Outputs {
-			if v, ok := child.Whiteboard[o]; ok {
-				outputs[o] = v
-			} else {
-				outputs[o] = ocr.Null
-			}
-		}
-		e.finishTask(in, sc, t, ts, outputs)
-		return
-	}
-	// Derived state: one live child (task records do not persist it).
-	ts.ChildWaiting = 1
-}
-
-// resumeBlock recreates block child scopes whose records were lost (crash
-// between block activation and child persistence) and redelivers results
-// from children that completed but whose delivery was not persisted.
-// ChildWaiting and Results are recomputed here — they are not persisted.
-func (e *Engine) resumeBlock(in *Instance, sc *scope, t *ocr.Task, ts *taskState) {
-	if !t.Parallel {
-		e.resumeChildScope(in, sc, t, ts, func() {
-			child := e.newScope(in, sc, t.Name, -1, t.Body)
-			copyWhiteboard(child, sc)
-			ts.ChildWaiting = 1
-			e.startScope(in, child)
-		})
-		return
-	}
-	n := len(ts.OverElems)
-	if n == 0 {
-		return
-	}
-	if len(ts.Results) != n {
-		ts.Results = make([]ocr.Value, n)
-	}
-	waiting := 0
-	var missing []int
-	for i := 0; i < n; i++ {
-		childID := scopePath(sc, t.Name, i)
-		child, ok := in.scopes[childID]
-		if ok {
-			if child.Done {
-				// Recompute the element result: delivery may
-				// not have been persisted.
-				ts.Results[i] = elementResult(child)
-			} else {
-				waiting++
-			}
-			continue
-		}
-		missing = append(missing, i)
-		waiting++
-	}
-	ts.ChildWaiting = waiting
-	if waiting == 0 {
-		e.finishTask(in, sc, t, ts, map[string]ocr.Value{
-			"results": ocr.List(ts.Results...),
-		})
-		return
-	}
-	for _, i := range missing {
-		child := e.newScope(in, sc, t.Name, i, t.Body)
-		copyWhiteboard(child, sc)
-		child.Whiteboard[t.As] = ts.OverElems[i]
-		child.ownWB(t.As, true)
-		e.startScope(in, child)
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/json"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -14,6 +15,13 @@ import (
 // store); runtimes snapshot periodically when configured, bounding the
 // write-ahead log a restart must replay.
 type Snapshotter interface{ Snapshot() error }
+
+// snapshotExtraSetter is implemented by stores whose snapshot image can
+// carry extra manifest sections (the disk store). The snapshot cadence
+// uses it to embed the engine's live proc-reference manifest.
+type snapshotExtraSetter interface {
+	SetSnapshotExtra(key string, value []byte)
+}
 
 // RuntimeBase is the runtime layer shared by the real-time drivers — the
 // goroutine-pool LocalRuntime and the networked remote runtime. It owns
@@ -142,7 +150,7 @@ func (rb *RuntimeBase) StartSnapshots(st store.Store, every time.Duration) {
 	}
 	stop := make(chan struct{})
 	rb.snapStop = stop
-	onError := rb.Engine().opts.OnError
+	eng := rb.Engine()
 	go func() {
 		//bioopera:allow walltime snapshot cadence paces real disk I/O; the sim runtime has its own virtual-clock snapshots
 		t := time.NewTicker(every)
@@ -150,14 +158,37 @@ func (rb *RuntimeBase) StartSnapshots(st store.Store, every time.Duration) {
 		for {
 			select {
 			case <-t.C:
-				if err := snap.Snapshot(); err != nil && onError != nil {
-					onError(fmt.Errorf("core: periodic snapshot: %w", err))
-				}
+				rb.snapshotOnce(eng, snap, st)
 			case <-stop:
 				return
 			}
 		}
 	}()
+}
+
+// snapshotOnce runs one compaction cycle: sweep dead interned process
+// texts (their delete batches commit before the sweep returns, so this
+// snapshot's image already excludes them), embed the live proc-reference
+// manifest, then snapshot. Errors surface as EvPersistError events and
+// through the engine's OnError hook — a background cadence has no caller
+// to return them to.
+func (rb *RuntimeBase) snapshotOnce(eng *Engine, snap Snapshotter, st store.Store) {
+	if eng != nil {
+		_, manifest := eng.SweepProcs()
+		if setter, ok := st.(snapshotExtraSetter); ok {
+			if data, err := json.Marshal(manifest); err == nil {
+				setter.SetSnapshotExtra("procRefs", data)
+			}
+		}
+	}
+	if err := snap.Snapshot(); err != nil {
+		if eng != nil {
+			eng.emit(Event{Kind: EvPersistError, Detail: fmt.Sprintf("snapshot: %v", err)})
+			if eng.opts.OnError != nil {
+				eng.opts.OnError(fmt.Errorf("core: periodic snapshot: %w", err))
+			}
+		}
+	}
 }
 
 // StopSnapshots halts the periodic snapshot loop started by

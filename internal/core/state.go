@@ -232,6 +232,12 @@ type Instance struct {
 	root   *scope
 	scopes map[string]*scope
 
+	// stub, when non-nil, marks a lazily recovered instance: only the
+	// metadata record was decoded, root/scopes are empty, and the raw
+	// delta records wait here until hydrateLocked replays them on the
+	// first mutating touch. Guarded by the shard lock.
+	stub *stubState
+
 	// status mirrors Status atomically so the dispatcher can test
 	// dispatchability without taking the instance's shard lock. Written
 	// only via setStatus (under the shard lock).

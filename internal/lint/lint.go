@@ -144,15 +144,19 @@ func Run(pkgs []*Package) []Diagnostic {
 }
 
 // deterministicPkg reports whether a package must stay replay-identical:
-// the simulation kernel, the scheduler, the engine, and the all-vs-all
-// workload. Lint testdata fixtures are always in scope so golden tests
-// exercise every analyzer.
+// the simulation kernel, the scheduler, the engine, the persistence layer
+// (WAL and store — their contents are replayed on recovery and shipped to
+// standbys, so wall-clock leakage would diverge replicas), and the
+// all-vs-all workload. Lint testdata fixtures are always in scope so
+// golden tests exercise every analyzer.
 func deterministicPkg(path string) bool {
 	switch path {
 	case "bioopera/internal/sim",
 		"bioopera/internal/sched",
 		"bioopera/internal/core",
 		"bioopera/internal/obs",
+		"bioopera/internal/wal",
+		"bioopera/internal/store",
 		"bioopera/internal/allvsall":
 		return true
 	}

@@ -10,6 +10,7 @@ import (
 	"bioopera/internal/sched"
 	"bioopera/internal/sim"
 	"bioopera/internal/store"
+	"bioopera/internal/wal"
 )
 
 // Config configures a remote Runtime.
@@ -35,6 +36,17 @@ type Config struct {
 	OnError func(error)
 	// SnapshotEvery periodically compacts the store (0 disables).
 	SnapshotEvery time.Duration
+	// ShipAddr, when non-empty and Store is a disk store, serves the
+	// store's WAL to hot standbys on this address (":0" picks a free
+	// port) — see store.StartShipping. Connected standbys replay every
+	// committed batch and can be promoted with Engine.Recover when this
+	// server dies.
+	ShipAddr string
+	// RecoverWorkers / LazyRecovery pass through to the engine (see
+	// core.Options); they shape Engine.Recover on this runtime's engine,
+	// including a promoted standby's recovery.
+	RecoverWorkers int
+	LazyRecovery   bool
 	// HeartbeatEvery / HeartbeatTimeout tune the failure detector and
 	// HandshakeTimeout bounds the hello/welcome exchange; see ServerConfig.
 	HeartbeatEvery   time.Duration
@@ -57,8 +69,9 @@ type Config struct {
 type Runtime struct {
 	core.RuntimeBase
 
-	Store  store.Store
-	Server *Server
+	Store   store.Store
+	Server  *Server
+	Shipper *wal.Shipper // nil unless Config.ShipAddr was set
 
 	start time.Time
 }
@@ -106,17 +119,19 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 	}
 	rt.Server = srv
 	eng, err := core.New(core.Options{
-		Store:     cfg.Store,
-		Library:   cfg.Library,
-		Executor:  srv,
-		Clock:     core.ClockFunc(now),
-		Policy:    cfg.Policy,
-		Quotas:    cfg.Quotas,
-		Shards:    cfg.Shards,
-		OnEvent:   cfg.OnEvent,
-		OnError:   cfg.OnError,
-		Metrics:   cfg.Metrics,
-		EventRing: cfg.EventRing,
+		Store:          cfg.Store,
+		Library:        cfg.Library,
+		Executor:       srv,
+		Clock:          core.ClockFunc(now),
+		Policy:         cfg.Policy,
+		Quotas:         cfg.Quotas,
+		Shards:         cfg.Shards,
+		RecoverWorkers: cfg.RecoverWorkers,
+		LazyRecovery:   cfg.LazyRecovery,
+		OnEvent:        cfg.OnEvent,
+		OnError:        cfg.OnError,
+		Metrics:        cfg.Metrics,
+		EventRing:      cfg.EventRing,
 		OnInstanceDone: func(*core.Instance) {
 			rt.Bump()
 		},
@@ -137,6 +152,21 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 			rt.Bump()
 		},
 	)
+	if cfg.ShipAddr != "" {
+		disk, ok := cfg.Store.(*store.Disk)
+		if !ok {
+			//bioopera:allow droppederr the config error is returned; closing the fresh listener is best-effort
+			srv.Close()
+			return nil, fmt.Errorf("remote: ShipAddr requires a disk store")
+		}
+		shipper, err := disk.StartShipping(cfg.ShipAddr, cfg.Logf)
+		if err != nil {
+			//bioopera:allow droppederr the shipping error is returned; closing the fresh listener is best-effort
+			srv.Close()
+			return nil, fmt.Errorf("remote: start shipping: %w", err)
+		}
+		rt.Shipper = shipper
+	}
 	rt.StartSnapshots(cfg.Store, cfg.SnapshotEvery)
 	return rt, nil
 }
@@ -149,6 +179,10 @@ func (rt *Runtime) Addr() string { return rt.Server.Addr() }
 // the caller may close the store), returning the listener's close error.
 func (rt *Runtime) Close() error {
 	rt.StopSnapshots()
+	if rt.Shipper != nil {
+		//bioopera:allow droppederr shipper teardown is best-effort; the listener close error below is the one reported
+		rt.Shipper.Close()
+	}
 	err := rt.Server.Close()
 	rt.Engine().QuiesceCheckpoints()
 	return err

@@ -82,13 +82,14 @@ func (q *Queue) Push(j Job) {
 	}
 	q.n++
 	// Insert keeping (priority desc, seq asc) order within the tenant.
-	pos := len(tq.items)
-	for i, it := range tq.items {
-		if j.Priority > it.Priority {
-			pos = i
-			break
-		}
-	}
+	// The slice is priority-sorted, so the position is found by binary
+	// search: first slot with strictly lower priority. Equal-priority jobs
+	// (the common case — and all of a recovery's requeued backlog) land at
+	// the tail, keeping the push O(log n) instead of a linear scan that
+	// copies every Job struct it walks past.
+	pos := sort.Search(len(tq.items), func(i int) bool {
+		return j.Priority > tq.items[i].Priority
+	})
 	tq.items = append(tq.items, Job{})
 	tq.seq = append(tq.seq, 0)
 	copy(tq.items[pos+1:], tq.items[pos:])

@@ -29,6 +29,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"bioopera/internal/obs"
 	"bioopera/internal/wal"
@@ -310,6 +311,20 @@ type snapshot struct {
 
 const snapSuffix = ".snap"
 
+// snapPath names the snapshot file covering WAL sequences below seq.
+func snapPath(dir string, seq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("snap-%020d%s", seq, snapSuffix))
+}
+
+// writeFileAtomic writes data via tmp and renames it into place, so a
+// crash leaves either the old file or the new one, never a torn mix.
+func writeFileAtomic(tmp, final string, data []byte) error {
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, final)
+}
+
 // Disk is a crash-safe Store backed by a WAL and periodic snapshots in a
 // directory. It is safe for concurrent use.
 //
@@ -334,7 +349,12 @@ type Disk struct {
 	groupedRecords uint64
 	snapSeq        uint64 // WAL seq of the newest snapshot (0 = none)
 
-	groupSize *obs.Histogram // records per flushed group (nil = no metrics)
+	// extra is opaque manifest data (e.g. the engine's proc-refcount map)
+	// included in every snapshot under its key. Guarded by mu.
+	extra map[string][]byte
+
+	groupSize   *obs.Histogram // records per flushed group (nil = no metrics)
+	snapSeconds *obs.Histogram // Snapshot wall time (nil = no metrics)
 }
 
 // commitReq is one caller's mutation set awaiting group commit. seq, when
@@ -406,6 +426,8 @@ func OpenDisk(dir string, opts DiskOptions) (*Disk, error) {
 	if opts.Metrics != nil {
 		d.groupSize = opts.Metrics.Histogram("bioopera_store_commit_group_records",
 			"Records per group-committed WAL batch.", obs.SizeBuckets)
+		d.snapSeconds = opts.Metrics.Histogram("bioopera_store_snapshot_seconds",
+			"Wall time of Disk.Snapshot: capture, marshal, write, WAL truncation.", nil)
 		d.registerGauges(opts.Metrics)
 	}
 	return d, nil
@@ -716,13 +738,30 @@ func (d *Disk) Stats() Stats {
 	return s
 }
 
-// Snapshot writes the full state to a snapshot file and garbage-collects
-// WAL segments that precede it.
-func (d *Disk) Snapshot() error {
+// SetSnapshotExtra attaches opaque manifest data that every subsequent
+// snapshot (and shipping bootstrap image) carries under key. The engine
+// records its proc-refcount manifest here so a snapshot documents which
+// content-addressed process texts were live when it was cut. A nil value
+// removes the key.
+func (d *Disk) SetSnapshotExtra(key string, value []byte) {
 	d.mu.Lock()
+	defer d.mu.Unlock()
+	if value == nil {
+		delete(d.extra, key)
+		return
+	}
+	if d.extra == nil {
+		d.extra = make(map[string][]byte)
+	}
+	d.extra[key] = append([]byte(nil), value...)
+}
+
+// captureSnapshot copies the full state into a snapshot image under mu.
+func (d *Disk) captureSnapshot() (snapshot, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if d.closed {
-		d.mu.Unlock()
-		return ErrClosed
+		return snapshot{}, ErrClosed
 	}
 	snap := snapshot{
 		WALSeq:   d.log.NextSeq(),
@@ -733,18 +772,39 @@ func (d *Disk) Snapshot() error {
 	for i := Space(0); i < numSpaces; i++ {
 		snap.Spaces[i] = d.st.list(i)
 	}
-	d.mu.Unlock()
+	if len(d.extra) > 0 {
+		snap.Extra = make(map[string]json.RawMessage, len(d.extra))
+		keys := make([]string, 0, len(d.extra))
+		for k := range d.extra {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			snap.Extra[k] = json.RawMessage(append([]byte(nil), d.extra[k]...))
+		}
+	}
+	return snap, nil
+}
 
+// Snapshot writes the full state to a snapshot file and garbage-collects
+// WAL segments that precede it (the retention floor pinned by an attached
+// shipper is honored: segments a standby still needs survive).
+func (d *Disk) Snapshot() error {
+	var start time.Time
+	if d.snapSeconds != nil {
+		//bioopera:allow walltime latency histogram observes real snapshot I/O time; it never feeds back into replayable state
+		start = time.Now()
+	}
+	snap, err := d.captureSnapshot()
+	if err != nil {
+		return err
+	}
 	data, err := json.Marshal(snap)
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
-	final := filepath.Join(d.dir, fmt.Sprintf("snap-%020d%s", snap.WALSeq, snapSuffix))
-	tmp := final + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		return fmt.Errorf("store: %w", err)
-	}
-	if err := os.Rename(tmp, final); err != nil {
+	final := snapPath(d.dir, snap.WALSeq)
+	if err := writeFileAtomic(final+".tmp", final, data); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
 	if err := d.log.TruncateBefore(snap.WALSeq); err != nil {
@@ -764,6 +824,10 @@ func (d *Disk) Snapshot() error {
 			continue
 		}
 		os.Remove(filepath.Join(d.dir, name))
+	}
+	if d.snapSeconds != nil {
+		//bioopera:allow walltime latency histogram observes real snapshot I/O time; it never feeds back into replayable state
+		d.snapSeconds.Observe(time.Since(start).Seconds())
 	}
 	return nil
 }

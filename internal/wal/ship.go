@@ -1,0 +1,361 @@
+// Log shipping: a Shipper streams committed WAL batches over TCP to one
+// or more Followers, which replay them into their own log. This is the
+// wire layer of the hot-standby story — the paper leaned on a replicated
+// DBMS for durable process state; we ship our own WAL instead.
+//
+// The protocol is newline-delimited JSON, the same framing the remote
+// worker protocol uses (the wal package cannot import internal/remote —
+// remote sits above the store — so the idiom is mirrored, not shared):
+//
+//	follower → shipper   {"type":"sync","from":N}
+//	shipper  → follower  {"type":"snapshot","seq":S,"data":...}   bootstrap
+//	shipper  → follower  {"type":"frames","seq":N,"records":[...]} per batch
+//
+// Frames are shipped post-fsync and batch-aligned: the shipper only reads
+// records below the committed frontier (CommittedSeq), and each frames
+// message carries exactly one atomic batch as AppendBatch wrote it, so the
+// follower re-appends the primary's commit units verbatim and a crash on
+// either side rolls back to the same batch boundary. A follower whose
+// cursor has fallen behind the oldest retained segment is bootstrapped
+// with a full snapshot; otherwise the shipper pins the retention floor
+// (SetRetainFloor) at its slowest follower's cursor so snapshots on the
+// primary cannot truncate records a standby still needs.
+package wal
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// shipMsg is every message of the shipping protocol; Type discriminates.
+type shipMsg struct {
+	Type string `json:"type"`
+	// From is the first sequence the follower wants (sync).
+	From uint64 `json:"from,omitempty"`
+	// Seq is the first sequence of Records (frames) or the first sequence
+	// NOT covered by Data (snapshot).
+	Seq uint64 `json:"seq,omitempty"`
+	// Records is one atomic batch, in append order (frames).
+	Records [][]byte `json:"records,omitempty"`
+	// Data is an opaque snapshot image (snapshot).
+	Data []byte `json:"data,omitempty"`
+	// Err explains a terminal refusal (error).
+	Err string `json:"err,omitempty"`
+}
+
+// ShipperOptions configure a Shipper.
+type ShipperOptions struct {
+	// Log is the log to ship from. Required.
+	Log *Log
+	// Snapshot produces a bootstrap image for followers whose cursor has
+	// fallen behind the oldest retained record: the opaque snapshot bytes
+	// plus the first WAL sequence NOT covered by them. Nil means lagging
+	// followers are refused instead of bootstrapped.
+	Snapshot func() (seq uint64, data []byte, err error)
+	// OnFollower, when non-nil, observes follower arrivals (up=true) and
+	// departures. Called from connection goroutines.
+	OnFollower func(remote string, up bool)
+	// Logf receives protocol diagnostics. May be nil.
+	Logf func(format string, args ...any)
+}
+
+// Shipper serves the primary side of log shipping. It is safe for
+// concurrent use alongside appends and truncation on the same Log.
+type Shipper struct {
+	ln   net.Listener
+	log  *Log
+	opts ShipperOptions
+	stop chan struct{}
+
+	mu      sync.Mutex
+	cursors map[net.Conn]uint64 // next sequence each follower needs
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+// NewShipper listens on addr and serves the log to connecting followers.
+func NewShipper(addr string, opts ShipperOptions) (*Shipper, error) {
+	if opts.Log == nil {
+		return nil, fmt.Errorf("wal: ShipperOptions needs a Log")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("wal: ship listen: %w", err)
+	}
+	s := &Shipper{
+		ln:      ln,
+		log:     opts.Log,
+		opts:    opts,
+		stop:    make(chan struct{}),
+		cursors: make(map[net.Conn]uint64),
+	}
+	s.wg.Add(1)
+	go s.accept()
+	return s, nil
+}
+
+// Addr returns the bound listen address (handy with ":0").
+func (s *Shipper) Addr() string { return s.ln.Addr().String() }
+
+// Followers reports how many followers are currently connected.
+func (s *Shipper) Followers() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.cursors)
+}
+
+func (s *Shipper) logf(format string, args ...any) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+	}
+}
+
+func (s *Shipper) accept() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			//bioopera:allow droppederr shutdown race: the refused connection's close error has no one to tell
+			conn.Close()
+			return
+		}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.serve(conn)
+	}
+}
+
+// setCursor records a follower's progress and re-pins the retention floor
+// at the minimum across followers, so TruncateBefore keeps what the
+// slowest standby still needs.
+func (s *Shipper) setCursor(conn net.Conn, cursor uint64) {
+	s.mu.Lock()
+	s.cursors[conn] = cursor
+	s.refloorLocked()
+	s.mu.Unlock()
+}
+
+func (s *Shipper) dropCursor(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.cursors, conn)
+	s.refloorLocked()
+	s.mu.Unlock()
+}
+
+func (s *Shipper) refloorLocked() {
+	var floor uint64
+	for _, c := range s.cursors {
+		if floor == 0 || c < floor {
+			floor = c
+		}
+	}
+	s.log.SetRetainFloor(floor) // 0 with no followers: unconstrained
+}
+
+// serve streams the log to one follower until it disconnects or the
+// shipper closes.
+func (s *Shipper) serve(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		//bioopera:allow droppederr the connection is being abandoned either way; its close error is diagnostic at best
+		conn.Close()
+		s.dropCursor(conn)
+		if s.opts.OnFollower != nil {
+			s.opts.OnFollower(conn.RemoteAddr().String(), false)
+		}
+	}()
+	dec := json.NewDecoder(bufio.NewReader(conn))
+	enc := json.NewEncoder(conn)
+	var hello shipMsg
+	if err := dec.Decode(&hello); err != nil || hello.Type != "sync" {
+		s.logf("wal: ship %s: bad handshake: %v", conn.RemoteAddr(), err)
+		return
+	}
+	cursor := hello.From
+	if cursor == 0 {
+		cursor = 1
+	}
+	// Register before the first read so the retention floor protects the
+	// cursor from a concurrent truncation.
+	s.setCursor(conn, cursor)
+	if s.opts.OnFollower != nil {
+		s.opts.OnFollower(conn.RemoteAddr().String(), true)
+	}
+	s.logf("wal: ship %s: follower syncing from %d", conn.RemoteAddr(), cursor)
+	for {
+		committed, ok := s.log.WaitCommitted(cursor-1, s.stop)
+		if !ok {
+			return
+		}
+		if oldest := s.log.OldestSeq(); cursor < oldest {
+			// The records the follower needs are gone — bootstrap it.
+			if s.opts.Snapshot == nil {
+				_ = enc.Encode(shipMsg{Type: "error", Err: fmt.Sprintf("records from %d truncated (oldest %d) and no snapshot source", cursor, oldest)})
+				return
+			}
+			seq, data, err := s.opts.Snapshot()
+			if err != nil {
+				s.logf("wal: ship %s: snapshot: %v", conn.RemoteAddr(), err)
+				_ = enc.Encode(shipMsg{Type: "error", Err: err.Error()})
+				return
+			}
+			if err := enc.Encode(shipMsg{Type: "snapshot", Seq: seq, Data: data}); err != nil {
+				return
+			}
+			cursor = seq
+			s.setCursor(conn, cursor)
+			s.logf("wal: ship %s: bootstrapped to %d (%d snapshot bytes)", conn.RemoteAddr(), seq, len(data))
+			continue
+		}
+		if committed < cursor {
+			continue // woke for a frontier we already shipped
+		}
+		err := s.log.ReplayBatches(cursor, func(first uint64, records [][]byte) error {
+			if first+uint64(len(records)) > committed+1 {
+				return io.EOF // past the frontier captured above; ship next round
+			}
+			if err := enc.Encode(shipMsg{Type: "frames", Seq: first, Records: records}); err != nil {
+				return err
+			}
+			cursor = first + uint64(len(records))
+			s.setCursor(conn, cursor)
+			return nil
+		})
+		if err != nil && err != io.EOF {
+			s.logf("wal: ship %s: %v", conn.RemoteAddr(), err)
+			return
+		}
+	}
+}
+
+// Close stops serving: the listener closes, follower connections drop, and
+// the retention floor is released.
+func (s *Shipper) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.cursors))
+	for c := range s.cursors {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	close(s.stop)
+	err := s.ln.Close()
+	for _, c := range conns {
+		//bioopera:allow droppederr shutdown: each follower connection is being discarded; the listener error is the one worth returning
+		c.Close()
+	}
+	s.wg.Wait()
+	s.log.SetRetainFloor(0)
+	if err != nil {
+		return fmt.Errorf("wal: ship close: %w", err)
+	}
+	return nil
+}
+
+// FollowerOptions configure a Follower.
+type FollowerOptions struct {
+	// From is the first sequence this follower needs (its own log's
+	// NextSeq). Zero means from the beginning.
+	From uint64
+	// ApplyBatch ingests one shipped batch: first is the sequence of
+	// records[0]. Required. An error stops Run.
+	ApplyBatch func(first uint64, records [][]byte) error
+	// ApplySnapshot installs a bootstrap image covering sequences < seq.
+	// Required if the primary may have truncated past From.
+	ApplySnapshot func(seq uint64, data []byte) error
+	// Logf receives protocol diagnostics. May be nil.
+	Logf func(format string, args ...any)
+}
+
+// Follower is the standby side of log shipping: it dials a Shipper and
+// applies what arrives.
+type Follower struct {
+	conn net.Conn
+	opts FollowerOptions
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// DialFollower connects to a Shipper at addr and requests the stream. Call
+// Run to start applying it.
+func DialFollower(addr string, opts FollowerOptions) (*Follower, error) {
+	if opts.ApplyBatch == nil {
+		return nil, fmt.Errorf("wal: FollowerOptions needs ApplyBatch")
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("wal: follow dial: %w", err)
+	}
+	f := &Follower{conn: conn, opts: opts}
+	if err := json.NewEncoder(conn).Encode(shipMsg{Type: "sync", From: opts.From}); err != nil {
+		//bioopera:allow droppederr the handshake failure is returned; closing the dead connection is best-effort
+		conn.Close()
+		return nil, fmt.Errorf("wal: follow sync: %w", err)
+	}
+	return f, nil
+}
+
+// Run applies the stream until the connection drops (nil after a local
+// Close, the transport error after a primary failure — the standby's cue
+// to promote) or an apply callback fails.
+func (f *Follower) Run() error {
+	dec := json.NewDecoder(bufio.NewReader(f.conn))
+	for {
+		var msg shipMsg
+		if err := dec.Decode(&msg); err != nil {
+			f.mu.Lock()
+			closed := f.closed
+			f.mu.Unlock()
+			if closed {
+				return nil
+			}
+			if err == io.EOF {
+				return fmt.Errorf("wal: follow: primary closed the stream")
+			}
+			return fmt.Errorf("wal: follow: %w", err)
+		}
+		switch msg.Type {
+		case "frames":
+			if err := f.opts.ApplyBatch(msg.Seq, msg.Records); err != nil {
+				return fmt.Errorf("wal: follow apply %d: %w", msg.Seq, err)
+			}
+		case "snapshot":
+			if f.opts.ApplySnapshot == nil {
+				return fmt.Errorf("wal: follow: unexpected snapshot (no ApplySnapshot)")
+			}
+			if err := f.opts.ApplySnapshot(msg.Seq, msg.Data); err != nil {
+				return fmt.Errorf("wal: follow install snapshot %d: %w", msg.Seq, err)
+			}
+		case "error":
+			return fmt.Errorf("wal: follow: primary refused: %s", msg.Err)
+		default:
+			return fmt.Errorf("wal: follow: unknown message type %q", msg.Type)
+		}
+	}
+}
+
+// Close drops the connection; a concurrent Run returns nil.
+func (f *Follower) Close() error {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return nil
+	}
+	f.closed = true
+	f.mu.Unlock()
+	return f.conn.Close()
+}

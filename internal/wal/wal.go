@@ -107,6 +107,15 @@ type Log struct {
 	nextSeq uint64 // sequence the next Append will get
 	segs    []uint64
 	syncs   uint64 // fsyncs issued by appends (group-commit metric)
+	closed  bool
+
+	// commitC is closed and replaced whenever a batch commits, waking
+	// WaitCommitted callers (the shipping path's notification channel).
+	commitC chan struct{}
+	// retain is the lowest sequence TruncateBefore must keep on disk
+	// (0 = unconstrained). The shipper pins it to its slowest follower's
+	// cursor so snapshots cannot truncate records a standby still needs.
+	retain uint64
 }
 
 // Open opens (creating if necessary) the log in dir. It scans existing
@@ -118,7 +127,7 @@ func Open(dir string, opts Options) (*Log, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
-	l := &Log{dir: dir, opts: opts, nextSeq: 1}
+	l := &Log{dir: dir, opts: opts, nextSeq: 1, commitC: make(chan struct{})}
 	if err := l.scan(); err != nil {
 		return nil, err
 	}
@@ -272,6 +281,7 @@ func (l *Log) AppendBatch(records [][]byte) (uint64, error) {
 	}
 	var start time.Time
 	if l.opts.AppendLatency != nil {
+		//bioopera:allow walltime latency histogram observes real I/O time; it never feeds back into replayable state
 		start = time.Now()
 	}
 	l.mu.Lock()
@@ -317,12 +327,14 @@ func (l *Log) AppendBatch(records [][]byte) (uint64, error) {
 	if !l.opts.NoSync {
 		var syncStart time.Time
 		if l.opts.SyncLatency != nil {
+			//bioopera:allow walltime latency histogram observes real fsync time; it never feeds back into replayable state
 			syncStart = time.Now()
 		}
 		if err := l.file.Sync(); err != nil {
 			return 0, fmt.Errorf("wal: %w", err)
 		}
 		if l.opts.SyncLatency != nil {
+			//bioopera:allow walltime latency histogram observes real fsync time; it never feeds back into replayable state
 			l.opts.SyncLatency.Observe(time.Since(syncStart).Seconds())
 		}
 		l.syncs++
@@ -330,7 +342,9 @@ func (l *Log) AppendBatch(records [][]byte) (uint64, error) {
 	l.size += int64(total)
 	seq := l.nextSeq
 	l.nextSeq += uint64(len(records))
+	l.notifyLocked()
 	if l.opts.AppendLatency != nil {
+		//bioopera:allow walltime latency histogram observes real I/O time; it never feeds back into replayable state
 		l.opts.AppendLatency.Observe(time.Since(start).Seconds())
 	}
 	return seq, nil
@@ -366,6 +380,12 @@ func (l *Log) rotateLocked() error {
 
 // Replay calls fn for every record with sequence ≥ from, in order.
 func (l *Log) Replay(from uint64, fn func(Record) error) error {
+	return l.replayFlagged(from, func(r Record, _ bool) error { return fn(r) })
+}
+
+// replayFlagged is Replay with the batch-continuation flag exposed: more is
+// true while the record's batch continues in the next frame.
+func (l *Log) replayFlagged(from uint64, fn func(r Record, more bool) error) error {
 	l.mu.Lock()
 	segs := append([]uint64(nil), l.segs...)
 	end := l.nextSeq
@@ -387,7 +407,7 @@ func (l *Log) Replay(from uint64, fn func(Record) error) error {
 	return nil
 }
 
-func replaySegment(path string, first, from, end uint64, fn func(Record) error) error {
+func replaySegment(path string, first, from, end uint64, fn func(r Record, more bool) error) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return fmt.Errorf("wal: %w", err)
@@ -402,7 +422,8 @@ func replaySegment(path string, first, from, end uint64, fn func(Record) error) 
 			}
 			return fmt.Errorf("wal: %w", err)
 		}
-		length := binary.LittleEndian.Uint32(hdr[0:4]) &^ batchFlag
+		raw := binary.LittleEndian.Uint32(hdr[0:4])
+		length := raw &^ batchFlag
 		sum := binary.LittleEndian.Uint32(hdr[4:8])
 		data := make([]byte, length)
 		if _, err := io.ReadFull(f, data); err != nil {
@@ -412,7 +433,7 @@ func replaySegment(path string, first, from, end uint64, fn func(Record) error) 
 			return fmt.Errorf("%w: seq %d in %s", ErrCorrupt, seq, path)
 		}
 		if seq >= from {
-			if err := fn(Record{Seq: seq, Data: data}); err != nil {
+			if err := fn(Record{Seq: seq, Data: data}, raw&batchFlag != 0); err != nil {
 				return err
 			}
 		}
@@ -421,12 +442,137 @@ func replaySegment(path string, first, from, end uint64, fn func(Record) error) 
 	return nil
 }
 
+// notifyLocked wakes every WaitCommitted caller. Called with l.mu held
+// whenever the committed frontier moves (append, reset) or the log closes.
+func (l *Log) notifyLocked() {
+	close(l.commitC)
+	l.commitC = make(chan struct{})
+}
+
+// CommittedSeq returns the sequence of the newest durable record (0 when
+// the log is empty). Every record below it has been written and — unless
+// NoSync — fsynced: AppendBatch only advances the frontier after the batch
+// is on disk, so shipping from here never leaks an uncommitted frame.
+func (l *Log) CommittedSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextSeq - 1
+}
+
+// WaitCommitted blocks until the committed frontier exceeds after, the log
+// closes, or stop is closed. It returns the current frontier and whether
+// the caller should keep going (false on close or stop).
+func (l *Log) WaitCommitted(after uint64, stop <-chan struct{}) (uint64, bool) {
+	for {
+		l.mu.Lock()
+		committed := l.nextSeq - 1
+		ch := l.commitC
+		closed := l.closed
+		l.mu.Unlock()
+		if closed {
+			return committed, false
+		}
+		if committed > after {
+			return committed, true
+		}
+		select {
+		case <-ch:
+		case <-stop:
+			return committed, false
+		}
+	}
+}
+
+// OldestSeq returns the sequence of the oldest record still on disk (the
+// first record of the first segment), or the next append sequence when the
+// log holds no segments. A follower whose cursor is below it must be
+// bootstrapped from a snapshot instead of replayed.
+func (l *Log) OldestSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.segs) == 0 {
+		return l.nextSeq
+	}
+	return l.segs[0]
+}
+
+// SetRetainFloor pins records with sequence ≥ seq on disk: TruncateBefore
+// will not remove a segment containing them even after a snapshot
+// supersedes them. Zero clears the pin. The shipper holds the floor at its
+// slowest follower's cursor.
+func (l *Log) SetRetainFloor(seq uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.retain = seq
+}
+
+// Reset discards every segment and positions the log so the next append
+// receives seq. A standby installs a bootstrap snapshot covering records
+// < seq and resets its log to continue from the primary's stream.
+func (l *Log) Reset(seq uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errors.New("wal: log closed")
+	}
+	if l.file != nil {
+		if err := l.file.Close(); err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+		l.file = nil
+	}
+	for _, first := range l.segs {
+		if err := os.Remove(filepath.Join(l.dir, segName(first))); err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+	}
+	l.segs = nil
+	l.size = 0
+	l.nextSeq = seq
+	l.notifyLocked()
+	return nil
+}
+
+// ReplayBatches calls fn once per committed batch whose first record has
+// sequence ≥ from, preserving the atomic-batch grouping AppendBatch wrote
+// (a standalone record is a batch of one). Shipping uses it so a standby
+// re-appends exactly the primary's commit units and a crash on either side
+// rolls back to the same batch boundary. from must itself be a batch
+// boundary — cursors only ever advance across whole batches.
+func (l *Log) ReplayBatches(from uint64, fn func(first uint64, records [][]byte) error) error {
+	var batch [][]byte
+	var first uint64
+	err := l.replayFlagged(from, func(r Record, more bool) error {
+		if len(batch) == 0 {
+			first = r.Seq
+		}
+		batch = append(batch, r.Data)
+		if more {
+			return nil
+		}
+		err := fn(first, batch)
+		batch = nil
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	if len(batch) != 0 {
+		return fmt.Errorf("%w: batch starting at %d never terminated", ErrCorrupt, first)
+	}
+	return nil
+}
+
 // TruncateBefore removes whole segments all of whose records have sequence
 // < seq. It is called after a snapshot makes old records unnecessary. The
-// segment containing seq (and the active tail) are always kept.
+// segment containing seq (and the active tail) are always kept, as is any
+// segment holding records at or above the retain floor.
 func (l *Log) TruncateBefore(seq uint64) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.retain != 0 && l.retain < seq {
+		seq = l.retain
+	}
 	var kept []uint64
 	for i, first := range l.segs {
 		// A segment is removable if the *next* segment starts at or
@@ -466,9 +612,14 @@ func (l *Log) Sync() error {
 }
 
 // Close syncs and closes the log. The log must not be used afterwards.
+// WaitCommitted callers are woken and told to stop.
 func (l *Log) Close() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if !l.closed {
+		l.closed = true
+		l.notifyLocked()
+	}
 	if l.file == nil {
 		return nil
 	}

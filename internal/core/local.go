@@ -204,6 +204,7 @@ func (ex *localExec) Launch(l Launch) error {
 	ex.live[l.Job] = mySeq
 	ex.mu.Unlock()
 	started := time.Since(ex.rt.start)
+	//bioopera:allow goroleak the worker runs an uninterruptible user program; Kill discards its result rather than joining it, and the engine's shutdown semantics accept in-flight programs finishing into a closed runtime
 	go func() {
 		t0 := time.Now()
 		outputs, err := l.Run()
@@ -258,6 +259,7 @@ func (ex *localExec) Kill(id cluster.JobID, node string) error {
 	// Deliver the kill asynchronously, mirroring the simulated cluster;
 	// the engine defers kills past navigation, so the completion may
 	// even be handled before this goroutine runs — both orders are safe.
+	//bioopera:allow goroleak one-shot completion delivery: the goroutine runs a single HandleCompletion and exits; there is nothing to park it on
 	go func() {
 		ex.rt.Engine().HandleCompletion(cluster.Completion{
 			Job:  id,

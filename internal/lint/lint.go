@@ -75,13 +75,49 @@ func (d Diagnostic) String() string {
 // its own diagnostics cannot be suppressed.
 const DirectiveName = "directive"
 
-// Analyzers returns the project's analyzer suite, in running order.
+// Analyzers returns the per-package analyzer suite, in running order.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		{Name: "walltime", Doc: "deterministic packages must use the sim virtual clock, never the wall clock", Run: runWalltime},
 		{Name: "droppederr", Doc: "store/WAL/persist/Close errors must flow somewhere, never be dropped", Run: runDroppedErr},
 		{Name: "locksafe", Doc: "no blocking operations or leaked locks inside internal/core critical sections", Run: runLockSafe},
 		{Name: "maprange", Doc: "trace-order-sensitive code must not iterate maps unsorted", Run: runMapRange},
+	}
+}
+
+// ModuleAnalyzer is one invariant check over the whole loaded program: it
+// sees the cross-package fact layer and call graph instead of one package
+// at a time.
+type ModuleAnalyzer struct {
+	Name string
+	Doc  string
+	Run  func(*ModulePass)
+}
+
+// ModulePass carries the program through one module analyzer.
+type ModulePass struct {
+	Analyzer *ModuleAnalyzer
+	Prog     *Program
+
+	report func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Prog.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ModuleAnalyzers returns the whole-program analyzer suite, in running
+// order.
+func ModuleAnalyzers() []*ModuleAnalyzer {
+	return []*ModuleAnalyzer{
+		{Name: "lockorder", Doc: "the global lock-acquisition graph must stay acyclic and within the sanctioned partial order", Run: runLockOrder},
+		{Name: "goroleak", Doc: "every goroutine in a long-lived package needs a provable shutdown path tied to a Close", Run: runGoroLeak},
+		{Name: "blockingsend", Doc: "no blocking channel operation or network write may be reachable while a lock is held", Run: runBlockingSend},
 	}
 }
 
@@ -92,11 +128,15 @@ func KnownAnalyzerNames() []string {
 	for _, a := range Analyzers() {
 		names = append(names, a.Name)
 	}
+	for _, a := range ModuleAnalyzers() {
+		names = append(names, a.Name)
+	}
 	sort.Strings(names)
 	return names
 }
 
-// Run executes the full analyzer suite over the loaded packages, resolves
+// Run executes the full analyzer suite — per-package passes plus the
+// whole-program passes over the cross-package fact layer — resolves
 // //bioopera:allow directives, and returns the surviving diagnostics plus
 // any directive-misuse diagnostics, sorted by position.
 func Run(pkgs []*Package) []Diagnostic {
@@ -116,6 +156,9 @@ func Run(pkgs []*Package) []Diagnostic {
 		}
 	}
 
+	// Directives are collected before the program builds: a blockingsend
+	// directive on a blocking operation clears the fact at its source
+	// (and is marked used there), so one annotation covers every caller.
 	var dirs []*directive
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
@@ -123,6 +166,11 @@ func Run(pkgs []*Package) []Diagnostic {
 		dirs = append(dirs, ds...)
 		diags = append(diags, misuse...)
 	}
+	prog := buildProgram(pkgs, dirs)
+	for _, a := range ModuleAnalyzers() {
+		a.Run(&ModulePass{Analyzer: a, Prog: prog, report: collect})
+	}
+
 	kept, stale := applyDirectives(raw, dirs)
 	diags = append(diags, kept...)
 	diags = append(diags, stale...)

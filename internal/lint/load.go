@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one loaded, type-checked package.
@@ -56,15 +57,49 @@ func NewLoader(modRoot string) (*Loader, error) {
 	if modPath == "" {
 		return nil, fmt.Errorf("lint: no module line in %s/go.mod", modRoot)
 	}
-	fset := token.NewFileSet()
 	return &Loader{
-		Fset:     fset,
+		Fset:     token.NewFileSet(),
 		ModRoot:  modRoot,
 		ModPath:  modPath,
-		std:      importer.ForCompiler(fset, "source", nil),
+		std:      sharedStdImporter(),
 		pkgs:     make(map[string]*Package),
 		checking: make(map[string]bool),
 	}, nil
+}
+
+// The standard library is type-checked once per process, not once per
+// Loader: the source importer re-checks every stdlib package it is asked
+// for from scratch, which dominated whole-module runs when tests build
+// several Loaders. The shared importer memoizes internally; the returned
+// packages are immutable after checking, so reusing them across checker
+// universes is safe. Their positions refer to the shared importer's own
+// FileSet — fine, because diagnostics only ever print module positions.
+var (
+	stdImporterOnce sync.Once
+	stdImporterInst types.Importer
+)
+
+// lockedImporter serializes Import calls: the source importer is not
+// documented as concurrency-safe, and Loaders on different goroutines
+// (parallel tests) may share this one.
+type lockedImporter struct {
+	mu  sync.Mutex
+	imp types.Importer
+}
+
+func (l *lockedImporter) Import(path string) (*types.Package, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.imp.Import(path)
+}
+
+func sharedStdImporter() types.Importer {
+	stdImporterOnce.Do(func() {
+		stdImporterInst = &lockedImporter{
+			imp: importer.ForCompiler(token.NewFileSet(), "source", nil),
+		}
+	})
+	return stdImporterInst
 }
 
 // Import implements types.Importer for the type-checker's benefit: module

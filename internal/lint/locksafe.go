@@ -20,7 +20,7 @@ import (
 // sync.Cond.Wait is exempt: releasing the mutex while asleep is the
 // condition-variable contract, not a blocked critical section.
 func runLockSafe(p *Pass) {
-	if p.Pkg.Path() != "bioopera/internal/core" && !testdataPkg(p.Pkg.Path()) {
+	if p.Pkg.Path() != "bioopera/internal/core" && !strings.Contains(p.Pkg.Path(), "lint/testdata/locksafe") {
 		return
 	}
 	for _, f := range p.Files {

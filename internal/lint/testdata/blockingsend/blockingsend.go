@@ -1,0 +1,60 @@
+// Package blockingsend is a biooperalint golden fixture: no blocking
+// operation may be reachable — directly or through a call chain — while a
+// lock is held.
+package blockingsend
+
+import "sync"
+
+type T struct {
+	mu sync.Mutex
+	c  chan int
+}
+
+// A blocking send directly inside the critical section.
+func (t *T) direct() {
+	t.mu.Lock()
+	t.c <- 1 // want `channel send while holding blockingsend\.T\.mu`
+	t.mu.Unlock()
+}
+
+// The same hazard one call away: helper blocks, and the fact propagates to
+// this locked call site.
+func (t *T) indirect() {
+	t.mu.Lock()
+	t.helper() // want `call to blockingsend\.\(\*T\)\.helper while holding blockingsend\.T\.mu may block indefinitely`
+	t.mu.Unlock()
+}
+
+func (t *T) helper() {
+	<-t.c
+}
+
+// Negative: the send happens after the lock is released.
+func (t *T) after() {
+	t.mu.Lock()
+	t.mu.Unlock()
+	t.c <- 2
+}
+
+// Negative: a select with a default clause never blocks.
+func (t *T) try() {
+	t.mu.Lock()
+	select {
+	case t.c <- 3:
+	default:
+	}
+	t.mu.Unlock()
+}
+
+// Suppressed at the fact source: the one annotation on the blocking
+// operation clears the witness for every caller, locked or not.
+func (t *T) cleared() {
+	t.mu.Lock()
+	t.bounded()
+	t.mu.Unlock()
+}
+
+func (t *T) bounded() {
+	//bioopera:allow blockingsend fixture: the wait is bounded by construction — the peer always closes the channel
+	<-t.c
+}

@@ -1,0 +1,77 @@
+// Package goroleak is a biooperalint golden fixture: goroutines in
+// long-lived packages need a provable shutdown path.
+package goroleak
+
+import "sync"
+
+type S struct {
+	wg   sync.WaitGroup
+	stop chan struct{}
+	done chan struct{}
+	fn   func()
+}
+
+// No WaitGroup, no channel: nothing ties this goroutine to a shutdown.
+func (s *S) leak() {
+	go func() { // want `goroutine launched here has no provable shutdown path`
+		for {
+			run()
+		}
+	}()
+}
+
+// A func-value target cannot be analyzed at all.
+func (s *S) dynamic() {
+	go s.fn() // want `goroutine target cannot be resolved statically`
+}
+
+// Proof 1: WaitGroup pairing — Add at the launch, Done in the body, Wait
+// in Close.
+func (s *S) wgPaired() {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		run()
+	}()
+}
+
+// Proof 2: quit channel — the body parks on a channel Close closes.
+func (s *S) quitChannel() {
+	go func() {
+		for {
+			select {
+			case <-s.stop:
+				return
+			default:
+				run()
+			}
+		}
+	}()
+}
+
+// Proof 3: completion channel — the body closes a channel Close receives,
+// resolved through the named-method target.
+func (s *S) completion() {
+	go s.serve()
+}
+
+func (s *S) serve() {
+	run()
+	close(s.done)
+}
+
+func (s *S) Close() {
+	close(s.stop)
+	<-s.done
+	s.wg.Wait()
+}
+
+// A deliberate fire-and-forget goroutine carries a reasoned suppression.
+func (s *S) oneShot(out chan int) {
+	//bioopera:allow goroleak fixture: one-shot delivery with nothing to park on; the send target is drained by construction
+	go func() {
+		out <- 1
+	}()
+}
+
+func run() {}

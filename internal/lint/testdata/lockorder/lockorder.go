@@ -1,0 +1,59 @@
+// Package lockorder is a biooperalint golden fixture: inconsistent lock
+// nesting across functions must be reported as a potential-deadlock cycle.
+package lockorder
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+type B struct{ mu sync.Mutex }
+
+// ab and ba together close a cycle: A.mu → B.mu here, B.mu → A.mu below.
+func ab(a *A, b *B) {
+	a.mu.Lock()
+	b.mu.Lock() // want `lock-order cycle: acquiring lockorder\.B\.mu while holding lockorder\.A\.mu`
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func ba(a *A, b *B) {
+	b.mu.Lock()
+	a.mu.Lock() // want `lock-order cycle: acquiring lockorder\.A\.mu while holding lockorder\.B\.mu`
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+type C struct{ mu sync.Mutex }
+type D struct{ mu sync.Mutex }
+
+// Consistent nesting: every path takes C.mu before D.mu — no cycle, no
+// report, including the edge arriving through a call.
+func cd(c *C, d *D) {
+	c.mu.Lock()
+	lockD(d)
+	d.mu.Unlock()
+	c.mu.Unlock()
+}
+
+func lockD(d *D) {
+	d.mu.Lock()
+}
+
+type E struct{ mu sync.Mutex }
+type F struct{ mu sync.Mutex }
+
+// A known, reviewed cycle can be suppressed edge by edge.
+func ef(e *E, f *F) {
+	e.mu.Lock()
+	//bioopera:allow lockorder fixture: both orders are protected by an outer gate in the imagined caller
+	f.mu.Lock()
+	f.mu.Unlock()
+	e.mu.Unlock()
+}
+
+func fe(e *E, f *F) {
+	f.mu.Lock()
+	//bioopera:allow lockorder fixture: both orders are protected by an outer gate in the imagined caller
+	e.mu.Lock()
+	e.mu.Unlock()
+	f.mu.Unlock()
+}

@@ -147,10 +147,11 @@ type ServerConfig struct {
 
 // Server serves /metrics and the JSON monitor API.
 type Server struct {
-	cfg ServerConfig
-	mux *http.ServeMux
-	ln  net.Listener
-	srv *http.Server
+	cfg  ServerConfig
+	mux  *http.ServeMux
+	ln   net.Listener
+	srv  *http.Server
+	done chan struct{} // closed when the Serve goroutine has exited
 }
 
 // NewServer builds a monitor server; call Start to listen or mount
@@ -180,7 +181,12 @@ func (s *Server) Start(addr string) error {
 	}
 	s.ln = ln
 	s.srv = &http.Server{Handler: s.mux}
-	go func() { _ = s.srv.Serve(ln) }()
+	done := make(chan struct{})
+	s.done = done
+	go func() {
+		defer close(done)
+		_ = s.srv.Serve(ln)
+	}()
 	return nil
 }
 
@@ -192,12 +198,15 @@ func (s *Server) Addr() string {
 	return s.ln.Addr().String()
 }
 
-// Close stops the listener and any in-flight handlers.
+// Close stops the listener and any in-flight handlers, then joins the
+// Serve goroutine so no monitor goroutine outlives the server.
 func (s *Server) Close() error {
 	if s.srv == nil {
 		return nil
 	}
-	return s.srv.Close()
+	err := s.srv.Close()
+	<-s.done
+	return err
 }
 
 func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {

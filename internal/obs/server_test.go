@@ -1,0 +1,27 @@
+package obs
+
+import (
+	"testing"
+)
+
+// TestServerCloseJoinsServe pins the monitor teardown fix: Close must not
+// return until the background Serve goroutine has exited, so closing the
+// monitor never strands a goroutine into a promoted standby's lifetime.
+func TestServerCloseJoinsServe(t *testing.T) {
+	s := NewServer(ServerConfig{})
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Addr() == "" {
+		t.Fatal("no bound address after Start")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-s.done:
+		// Serve goroutine is gone, as Close promised.
+	default:
+		t.Fatal("Close returned while the Serve goroutine was still running")
+	}
+}

@@ -165,6 +165,7 @@ func (a *Agent) logf(format string, args ...any) {
 func (a *Agent) send(m Message) error {
 	a.wmu.Lock()
 	defer a.wmu.Unlock()
+	//bioopera:allow blockingsend wmu is a leaf lock that exists only to serialize writes on this connection; nothing is ever acquired under it, and Close unblocks a stuck write by closing the conn
 	return a.enc.Encode(m)
 }
 

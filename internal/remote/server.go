@@ -56,6 +56,12 @@ type lease struct {
 	started time.Duration // since server start, for the completion record
 }
 
+// sendQueueDepth bounds each worker's outbound queue. The traffic is one
+// launch or kill per leased job, so the bound is hit only when a worker's
+// TCP stream has stalled for hundreds of messages — at which point failing
+// the launch (and letting the engine reschedule) beats queueing more.
+const sendQueueDepth = 256
+
 // workerConn is one connected worker agent.
 type workerConn struct {
 	name  string
@@ -63,18 +69,42 @@ type workerConn struct {
 	conn  net.Conn
 	nodes []string // server-side node names owned by this worker
 
-	wmu sync.Mutex // serializes writes
-	enc *json.Encoder
+	// Outbound messages are queued here and written by the connection's
+	// writeLoop, the only goroutine touching enc: callers — including the
+	// dispatcher holding an engine shard lock across Executor.Launch —
+	// never block on the network.
+	out      chan Message
+	gone     chan struct{} // closed when the worker is declared dead
+	goneOnce sync.Once
+	enc      *json.Encoder
 
 	// Guarded by Server.mu.
 	lastBeat time.Time
 	dead     bool
 }
 
-func (w *workerConn) send(m Message) error {
-	w.wmu.Lock()
-	defer w.wmu.Unlock()
-	return w.enc.Encode(m)
+// queue hands m to the worker's writer goroutine without ever blocking:
+// a dead worker or a stalled stream fails fast instead.
+func (w *workerConn) queue(m Message) error {
+	select {
+	case <-w.gone:
+		return fmt.Errorf("remote: worker %s is gone", w.name)
+	default:
+	}
+	select {
+	case w.out <- m:
+		return nil
+	case <-w.gone:
+		return fmt.Errorf("remote: worker %s is gone", w.name)
+	default:
+		return fmt.Errorf("remote: worker %s send queue full", w.name)
+	}
+}
+
+// markGone closes the gone channel exactly once, unblocking queue callers
+// and the writeLoop.
+func (w *workerConn) markGone() {
+	w.goneOnce.Do(func() { close(w.gone) })
 }
 
 // Server accepts worker agents and implements core.Executor over them: the
@@ -87,6 +117,7 @@ type Server struct {
 	dir   *cluster.Directory
 	start time.Time
 	wg    sync.WaitGroup
+	stopc chan struct{} // closed by Close; wakes the reaper immediately
 
 	mu           sync.Mutex
 	closed       bool
@@ -129,6 +160,7 @@ func Listen(addr string, cfg ServerConfig) (*Server, error) {
 		cfg:       cfg,
 		ln:        ln,
 		start:     time.Now(),
+		stopc:     make(chan struct{}),
 		dir:       cluster.NewDirectory(),
 		workers:   make(map[string]*workerConn),
 		nodeOwner: make(map[string]string),
@@ -193,15 +225,17 @@ func (s *Server) Close() error {
 		return nil
 	}
 	s.closed = true
-	conns := make([]net.Conn, 0, len(s.workers))
+	workers := make([]*workerConn, 0, len(s.workers))
 	for _, w := range s.workers {
-		conns = append(conns, w.conn)
+		workers = append(workers, w)
 	}
 	s.mu.Unlock()
+	close(s.stopc)
 	err := s.ln.Close()
-	for _, c := range conns {
+	for _, w := range workers {
+		w.markGone() // unblocks the writeLoop and any queued sender
 		//bioopera:allow droppederr worker teardown is best-effort; Close reports the listener's error
-		c.Close()
+		w.conn.Close()
 	}
 	s.wg.Wait()
 	return err
@@ -243,7 +277,7 @@ func (s *Server) Launch(l core.Launch) error {
 	s.running[lz.job] = lz
 	s.mu.Unlock()
 
-	err := w.send(Message{
+	err := w.queue(Message{
 		Type:        MsgLaunch,
 		Job:         lz.job,
 		Node:        l.Node,
@@ -286,11 +320,24 @@ func (s *Server) Kill(id cluster.JobID, node string) error {
 	s.dir.Release(lz.node)
 	w := s.workers[lz.worker]
 	deliver := s.onCompletion
+	// The Add must happen before mu is released and only while the server
+	// is open: a Kill racing Close must not Add after Close's Wait started.
+	async := !s.closed
+	if async {
+		s.wg.Add(1)
+	}
 	s.mu.Unlock()
 	if w != nil {
-		w.send(Message{Type: MsgKill, Job: lz.job, Lease: lz.id})
+		// Best-effort: a worker that misses the kill reports a completion
+		// the lease check then drops.
+		w.queue(Message{Type: MsgKill, Job: lz.job, Lease: lz.id})
 	}
-	s.wg.Add(1)
+	if !async {
+		if deliver != nil {
+			deliver(cluster.Completion{Job: id, Node: lz.node, Err: cluster.ErrJobKilled})
+		}
+		return nil
+	}
 	go func() {
 		defer s.wg.Done()
 		if deliver != nil {
@@ -325,7 +372,12 @@ func (s *Server) reaper() {
 	}
 	t := time.NewTicker(period)
 	defer t.Stop()
-	for range t.C {
+	for {
+		select {
+		case <-s.stopc:
+			return // Close must not wait out a reaper period
+		case <-t.C:
+		}
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
@@ -363,6 +415,8 @@ func (s *Server) handleConn(conn net.Conn) {
 	w := &workerConn{
 		name:     hello.Worker,
 		conn:     conn,
+		out:      make(chan Message, sendQueueDepth),
+		gone:     make(chan struct{}),
 		enc:      json.NewEncoder(conn),
 		lastBeat: time.Now(),
 	}
@@ -412,16 +466,22 @@ func (s *Server) handleConn(conn net.Conn) {
 		w.nodes = append(w.nodes, full)
 	}
 	s.workers[w.name] = w
-	onChange := s.onChange
-	s.mu.Unlock()
-
-	if err := w.send(Message{
+	// The welcome is queued before the registration lock is released, so it
+	// is first on the wire even if a dispatcher Launch targets this worker
+	// the instant mu unlocks. The fresh queue cannot be full.
+	welcomeErr := w.queue(Message{
 		Type:        MsgWelcome,
 		Incarnation: w.inc,
 		HeartbeatMs: s.cfg.HeartbeatEvery.Milliseconds(),
-	}); err != nil {
-		//bioopera:allow droppederr the welcome send already failed; closing the dead connection is best-effort
-		conn.Close()
+	})
+	// Counted under the same critical section that checked closed: a
+	// racing Close has not started its Wait yet.
+	s.wg.Add(1)
+	onChange := s.onChange
+	s.mu.Unlock()
+	go s.writeLoop(w)
+	if welcomeErr != nil {
+		s.declareDead(w, "welcome enqueue failed")
 		return
 	}
 	s.mJoins.Inc()
@@ -469,6 +529,24 @@ func (s *Server) handleConn(conn net.Conn) {
 	s.declareDead(w, "connection lost")
 }
 
+// writeLoop is the single writer for one worker's connection: it drains
+// the outbound queue onto the encoder so no caller ever blocks on the
+// network. A failed write means the connection is dead.
+func (s *Server) writeLoop(w *workerConn) {
+	defer s.wg.Done()
+	for {
+		select {
+		case m := <-w.out:
+			if err := w.enc.Encode(m); err != nil {
+				s.declareDead(w, "write failed")
+				return
+			}
+		case <-w.gone:
+			return
+		}
+	}
+}
+
 // declareDead marks a worker dead, takes its nodes down, and fails its
 // running jobs with ErrNodeFailed so the engine requeues them elsewhere —
 // the paper's node-failure handling (§3.3), at worker granularity. The
@@ -481,6 +559,7 @@ func (s *Server) declareDead(w *workerConn, reason string) {
 		return
 	}
 	w.dead = true
+	w.markGone() // stop the writeLoop and fail later queue calls fast
 	s.declaredDead++
 	for _, n := range w.nodes {
 		s.dir.SetUp(n, false)

@@ -545,6 +545,7 @@ func (d *Disk) commit(req *commitReq) error {
 	g.encoded = append(g.encoded, req.encoded...)
 	d.gmu.Unlock()
 	if !leader {
+		//bioopera:allow blockingsend group-commit follower: the wait is bounded by one leader fsync (the leader always closes done), and the follower holds no locks here
 		<-g.done
 		return g.err
 	}

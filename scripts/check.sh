@@ -22,7 +22,11 @@ echo "== go build"
 go build ./...
 
 echo "== biooperalint"
+# The tool prints its own load/analyze split on stderr; time the whole run
+# (including go run's rebuild) so regressions in the module loader show up.
+lint_start=$(date +%s)
 go run ./cmd/biooperalint ./...
+echo "   biooperalint took $(($(date +%s) - lint_start))s"
 
 echo "== go test"
 go test ./...

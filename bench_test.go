@@ -22,6 +22,7 @@ import (
 	"bioopera/internal/core"
 	"bioopera/internal/darwin"
 	"bioopera/internal/experiments"
+	"bioopera/internal/fed"
 	"bioopera/internal/ocr"
 	"bioopera/internal/sched"
 	"bioopera/internal/store"
@@ -946,4 +947,204 @@ func BenchmarkFailover(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(b.Elapsed().Milliseconds())/float64(b.N), "ms/failover")
+}
+
+// fedBenchSrc chains three activities so federated instances exercise the
+// whole dispatch/checkpoint path rather than completing in one turn.
+const fedBenchSrc = `
+PROCESS FedChain {
+  INPUT x;
+  OUTPUT r;
+  ACTIVITY A { CALL fedbench.step(x = x); OUT out; MAP out -> a; }
+  ACTIVITY B { CALL fedbench.step(x = a); OUT out; MAP out -> b; }
+  ACTIVITY C { CALL fedbench.step(x = b); OUT out; MAP out -> r; }
+  A -> B;
+  B -> C;
+}`
+
+func fedBenchLibrary(stepTime time.Duration) *core.Library {
+	lib := core.NewLibrary()
+	lib.Register(core.Program{
+		Name: "fedbench.step",
+		Run: func(_ core.ProgramCtx, args map[string]ocr.Value) (map[string]ocr.Value, error) {
+			if stepTime > 0 {
+				time.Sleep(stepTime)
+			}
+			return map[string]ocr.Value{"out": ocr.Num(args["x"].AsNum()*2 + 1)}, nil
+		},
+	})
+	return lib
+}
+
+// bootFedBench boots a federation for benchmarking: n members (each over
+// its own store when shared is nil — the shared-nothing deployment — or all
+// over shared) plus a library-only gateway routing to them. It blocks until
+// every partition has exactly one owner.
+func bootFedBench(b *testing.B, n, partitions int, shared store.Store, stepTime time.Duration) ([]*fed.Member, *fed.Gateway) {
+	b.Helper()
+	members := make([]*fed.Member, 0, n)
+	var joins []string
+	for i := 0; i < n; i++ {
+		st := shared
+		if st == nil {
+			st = store.NewMem()
+			mem := st
+			b.Cleanup(func() { mem.Close() })
+		}
+		m, err := fed.NewMember(fed.Config{
+			Name:             fmt.Sprintf("bench%d", i+1),
+			ListenAddr:       "127.0.0.1:0",
+			Join:             append([]string(nil), joins...),
+			Store:            st,
+			Library:          fedBenchLibrary(stepTime),
+			Workers:          4,
+			Partitions:       partitions,
+			HeartbeatEvery:   25 * time.Millisecond,
+			HeartbeatTimeout: 100 * time.Millisecond,
+			LazyRecovery:     true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(m.Close)
+		if err := m.Runtime().RegisterTemplateSource(fedBenchSrc); err != nil {
+			b.Fatal(err)
+		}
+		members = append(members, m)
+		joins = append(joins, m.Addr())
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		owners := make(map[int]int)
+		short := false
+		for _, m := range members {
+			owned := m.OwnedPartitions()
+			if len(owned) == 0 {
+				short = true
+			}
+			for _, p := range owned {
+				owners[p]++
+			}
+		}
+		balanced := !short && len(owners) == partitions
+		for _, c := range owners {
+			if c != 1 {
+				balanced = false
+			}
+		}
+		if balanced {
+			break
+		}
+		if time.Now().After(deadline) {
+			b.Fatal("federation ownership never settled")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	g, err := fed.NewGateway(fed.GatewayConfig{
+		Members:      joins,
+		Retries:      60,
+		RetryBackoff: 50 * time.Millisecond,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(g.Close)
+	return members, g
+}
+
+// BenchmarkFederatedThroughput measures end-to-end instance throughput
+// through the gateway for 1/2/4 shared-nothing members: start K three-step
+// chains, wait for all of them, report instances/s. Activities are pure
+// compute (no sleep), so the measured cost is navigation, checkpointing,
+// and the routed-RPC layer; the shared-nothing stores mean members scale
+// without write contention.
+func BenchmarkFederatedThroughput(b *testing.B) {
+	const instances = 48
+	for _, servers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("servers=%d", servers), func(b *testing.B) {
+			_, g := bootFedBench(b, servers, 8, nil, 0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ids := make([]string, instances)
+				for j := range ids {
+					id, err := g.Start(fed.StartReq{
+						Template: "FedChain",
+						Inputs:   map[string]ocr.Value{"x": ocr.Num(float64(j))},
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					ids[j] = id
+				}
+				for j, id := range ids {
+					res, err := g.Wait(id, 30*time.Second)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.Status != core.InstanceDone.String() {
+						b.Fatalf("%s: %s (%s)", id, res.Status, res.Failure)
+					}
+					if got, want := res.Outputs["r"].AsNum(), float64(8*j+7); got != want {
+						b.Fatalf("%s: r = %v, want %v", id, got, want)
+					}
+				}
+			}
+			b.StopTimer()
+			perRun := b.Elapsed() / time.Duration(b.N)
+			b.ReportMetric(float64(instances)/perRun.Seconds(), "instances/s")
+		})
+	}
+}
+
+// BenchmarkServerFailover measures whole-server failover in a shared-store
+// federation: 3 members run 12 in-flight instances, one member is killed,
+// and the measured section is kill → every instance (including the dead
+// member's) completed through the gateway. That covers failure detection
+// (100ms heartbeat timeout), lease reclamation under a new incarnation,
+// partition-scoped recovery, and re-execution from the last checkpoint.
+func BenchmarkServerFailover(b *testing.B) {
+	const instances = 12
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		st := store.NewMem()
+		// Registered before bootFedBench's member cleanups so the LIFO
+		// cleanup order closes every member before the store they share.
+		b.Cleanup(func() { st.Close() })
+		members, g := bootFedBench(b, 3, 8, st, 10*time.Millisecond)
+		ids := make([]string, instances)
+		for j := range ids {
+			id, err := g.Start(fed.StartReq{
+				Template: "FedChain",
+				Inputs:   map[string]ocr.Value{"x": ocr.Num(float64(j))},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ids[j] = id
+		}
+		victim := members[0]
+		if name := fed.MemberOf(ids[0]); name != "" {
+			for _, m := range members {
+				if m.Name() == name {
+					victim = m
+				}
+			}
+		}
+		b.StartTimer()
+		victim.Close()
+		for j, id := range ids {
+			res, err := g.Wait(id, 30*time.Second)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Status != core.InstanceDone.String() {
+				b.Fatalf("%s: %s (%s)", id, res.Status, res.Failure)
+			}
+			if got, want := res.Outputs["r"].AsNum(), float64(8*j+7); got != want {
+				b.Fatalf("%s: r = %v, want %v", id, got, want)
+			}
+		}
+		b.StopTimer()
+	}
+	b.ReportMetric(float64(b.Elapsed().Milliseconds())/float64(b.N), "ms/failover-to-complete")
 }

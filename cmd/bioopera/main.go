@@ -61,6 +61,10 @@ func main() {
 		err = cmdStandby(os.Args[2:])
 	case "worker":
 		err = cmdWorker(os.Args[2:])
+	case "gateway":
+		err = cmdGateway(os.Args[2:])
+	case "fed":
+		err = cmdFed(os.Args[2:])
 	case "history":
 		err = cmdHistory(os.Args[2:])
 	case "help", "-h", "--help":
@@ -90,10 +94,14 @@ commands:
   serve <file.ocr> [flags]     run the engine as a server for remote workers
   standby <file.ocr> [flags]   follow a serve -ship primary; promote on failure
   worker <file.ocr> [flags]    run a worker agent against a serve instance
+  gateway [flags]              route client RPCs to a federation of servers
+  fed [file.ocr] [flags]       federation in a box: N servers + gateway demo
   history <store-dir> [flags]  inspect a persistent store: past runs, events
 
 run and simulate accept -store <dir> to persist templates, state and
 history to disk (inspect them later with the history command).
+serve -fed NAME [-join ADDR]  runs serve as a federation member instead;
+point a gateway at the members and start instances through it.
 `)
 }
 

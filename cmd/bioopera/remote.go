@@ -57,6 +57,11 @@ func cmdServe(args []string) error {
 	storeDir := fs.String("store", "", "persist state and history to this directory")
 	ship := fs.String("ship", "", "serve the store's WAL to hot standbys on this address (requires -store)")
 	monitor := fs.String("monitor", "", "HTTP monitor address (e.g. 127.0.0.1:8080); serves /metrics and /api/*")
+	fedName := fs.String("fed", "", "federate: run as a federation member with this name (default hostname with -join)")
+	var joinFlags repeated
+	fs.Var(&joinFlags, "join", "federate: peer member address to join (repeatable; implies -fed)")
+	partitions := fs.Int("partitions", 0, "federate: ownership partition count, all members must agree (default 16)")
+	lazy := fs.Bool("lazy-recovery", false, "federate: adopt failed-over instances as stubs, hydrated on first touch")
 	verbose := fs.Bool("v", false, "log protocol and node events")
 	file, err := fileThenFlags(fs, args, "usage: bioopera serve <file.ocr> [flags]")
 	if err != nil {
@@ -65,6 +70,28 @@ func cmdServe(args []string) error {
 	ps, err := loadFile(file)
 	if err != nil {
 		return err
+	}
+	if *fedName != "" || len(joinFlags) > 0 {
+		// Federation member mode: the server owns a partition of the
+		// instance-ID space, executes on a local pool, and serves routed
+		// RPCs for a gateway instead of running one CLI-started instance
+		// over remote worker agents.
+		if *ship != "" {
+			return fmt.Errorf("-ship does not combine with federation mode; each member persists through its own -store")
+		}
+		return serveFederated(ps, fedServeOpts{
+			name:        *fedName,
+			listen:      *listen,
+			join:        joinFlags,
+			storeDir:    *storeDir,
+			workers:     *workers,
+			partitions:  *partitions,
+			lazy:        *lazy,
+			beat:        *beat,
+			beatTimeout: *beatTimeout,
+			monitor:     *monitor,
+			verbose:     *verbose,
+		})
 	}
 	if *template == "" {
 		*template = ps[0].Name

@@ -26,11 +26,16 @@ func NewDirectory() *Directory {
 // Join adds a node or refreshes a known one (a rejoining worker keeps its
 // position in the view). The node comes back with no running jobs: any
 // work it carried before leaving was requeued when it was declared dead.
+// The recorded external load survives a refresh — it describes the
+// machine, not the connection, so a SetExtLoad racing a rejoin must not
+// be lost until the next monitor report.
 func (d *Directory) Join(v NodeView) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	v.Running = 0
-	if _, known := d.nodes[v.Name]; !known {
+	if prev, known := d.nodes[v.Name]; known {
+		v.ExtLoad = prev.ExtLoad
+	} else {
 		d.order = append(d.order, v.Name)
 	}
 	d.nodes[v.Name] = &v

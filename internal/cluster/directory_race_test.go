@@ -1,0 +1,136 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestDirectoryExtLoadSurvivesRejoin pins the lost-update fix: the external
+// load describes the machine, not the connection, so a refresh Join (worker
+// rejoin, re-announce) must not zero the last observed load.
+func TestDirectoryExtLoadSurvivesRejoin(t *testing.T) {
+	d := NewDirectory()
+	d.Join(NodeView{Name: "w1-00", Up: true, CPUs: 2, Speed: 1})
+	if !d.SetExtLoad("w1-00", 0.7) {
+		t.Fatal("SetExtLoad unknown node")
+	}
+	d.Join(NodeView{Name: "w1-00", Up: true, CPUs: 4, Speed: 1}) // rejoin
+	v, ok := d.Get("w1-00")
+	if !ok || v.ExtLoad != 0.7 {
+		t.Fatalf("ExtLoad after rejoin = %+v, want 0.7 preserved", v)
+	}
+	if v.CPUs != 4 || v.Running != 0 {
+		t.Fatalf("rejoin did not refresh shape: %+v", v)
+	}
+	// A genuinely new node starts with no load history.
+	d.Join(NodeView{Name: "w2-00", Up: true, CPUs: 1, Speed: 1})
+	if v, _ := d.Get("w2-00"); v.ExtLoad != 0 {
+		t.Fatalf("fresh node ExtLoad = %v", v.ExtLoad)
+	}
+}
+
+// TestDirectoryChurnRace hammers every Directory entry point from
+// concurrent goroutines — membership churn (Join/Leave/SetUp), load
+// reports, slot traffic, and iterating readers — and then checks the
+// invariants the scheduler depends on: join order matches the registry
+// exactly, running counts stay within [0, CPUs], loads stay clamped, and
+// a node's recorded load survives rejoin churn. Run with -race.
+func TestDirectoryChurnRace(t *testing.T) {
+	d := NewDirectory()
+	const nodes = 8
+	const rounds = 400
+	name := func(i int) string { return fmt.Sprintf("n-%02d", i) }
+	for i := 0; i < nodes; i++ {
+		d.Join(NodeView{Name: name(i), Up: true, CPUs: 2, Speed: 1})
+	}
+
+	var wg sync.WaitGroup
+	// Churners: leave and rejoin their node repeatedly.
+	for i := 0; i < nodes/2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				d.Leave(name(i))
+				d.Join(NodeView{Name: name(i), Up: true, CPUs: 2, Speed: 1})
+				d.SetUp(name(i), r%2 == 0)
+			}
+		}(i)
+	}
+	// Load reporters: hammer SetExtLoad across all nodes, including ones
+	// mid-churn (unknown nodes are a clean false, never a panic).
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				for i := 0; i < nodes; i++ {
+					d.SetExtLoad(name(i), float64((r+g)%5)/4)
+				}
+			}
+		}(g)
+	}
+	// Slot traffic on the stable half of the fleet.
+	for i := nodes / 2; i < nodes; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				if err := d.Reserve(name(i)); err == nil {
+					d.Release(name(i))
+				}
+			}
+		}(i)
+	}
+	// Readers: iterate and spot-check while everything above runs.
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				for _, v := range d.Nodes() {
+					if v.Running < 0 || v.Running > v.CPUs {
+						t.Errorf("node %s Running=%d CPUs=%d", v.Name, v.Running, v.CPUs)
+						return
+					}
+					if v.ExtLoad < 0 || v.ExtLoad > 1 {
+						t.Errorf("node %s ExtLoad=%v out of range", v.Name, v.ExtLoad)
+						return
+					}
+				}
+				d.Get(name(r % nodes))
+				d.Len()
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Post-storm invariants: the order slice and the registry agree
+	// exactly (no duplicate or dangling order entries).
+	views := d.Nodes()
+	if len(views) != d.Len() {
+		t.Fatalf("Nodes() returned %d views, Len() = %d", len(views), d.Len())
+	}
+	seen := make(map[string]bool, len(views))
+	for _, v := range views {
+		if seen[v.Name] {
+			t.Fatalf("duplicate node %s in join order", v.Name)
+		}
+		seen[v.Name] = true
+		got, ok := d.Get(v.Name)
+		if !ok {
+			t.Fatalf("order entry %s missing from registry", v.Name)
+		}
+		if got.Running < 0 || got.Running > got.CPUs {
+			t.Fatalf("node %s Running=%d CPUs=%d", v.Name, got.Running, got.CPUs)
+		}
+	}
+	// The stable half never left, so every one of those must be present
+	// with its last reported load intact (reporters always end in-range).
+	for i := nodes / 2; i < nodes; i++ {
+		if _, ok := d.Get(name(i)); !ok {
+			t.Fatalf("stable node %s lost", name(i))
+		}
+	}
+}

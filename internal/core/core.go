@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -22,6 +23,8 @@ var (
 	ErrUnknownTemplate = errors.New("core: unknown template")
 	ErrUnknownInstance = errors.New("core: unknown instance")
 	ErrBadState        = errors.New("core: operation invalid in current state")
+	ErrNotOwner        = errors.New("core: instance not owned by this server")
+	ErrDuplicateID     = errors.New("core: instance ID already in use")
 )
 
 // Launch describes one activity dispatch in full: the scheduling decision
@@ -175,6 +178,18 @@ type Options struct {
 	// JSON for live tailing (the monitor's /api/events). Publishing never
 	// blocks, so a stalled subscriber cannot slow emit.
 	EventRing *obs.Ring
+	// Owns, when non-nil, partitions instance ownership across federated
+	// engines sharing one store: every mutating entry point (StartProcess
+	// with an explicit ID, Suspend, Resume, Abort, SetParameter, Signal)
+	// fails with ErrNotOwner for IDs outside this engine's partition,
+	// Recover adopts only owned instances, and checkpoint batches are
+	// fenced at commit time — a checkpoint cut while owned but flushed
+	// after ownership moved is dropped, so an engine that lost a lease
+	// (or is draining through shutdown while a peer adopts its work) can
+	// never clobber its successor's records. The callback must be safe
+	// for concurrent use and may change its answer over time (ownership
+	// moves on failover); nil means the engine owns everything.
+	Owns func(id string) bool
 }
 
 // queuedRef connects a queued sched.Job back to its task.
@@ -429,19 +444,47 @@ type StartOptions struct {
 	// activities charge to ("" = the default tenant); weights come from
 	// Options.Quotas.
 	Tenant string
+	// InstanceID, when non-empty, names the new instance instead of the
+	// engine's generated p-sequence. Federated members mint IDs that
+	// encode their partition; the caller guarantees global uniqueness
+	// (the engine still rejects an ID already in its registry). IDs must
+	// not contain '/'.
+	InstanceID string
+}
+
+// checkOwned gates a mutating entry point on the ownership partition.
+func (e *Engine) checkOwned(id string) error {
+	if e.opts.Owns != nil && !e.opts.Owns(id) {
+		return fmt.Errorf("%w: %s", ErrNotOwner, id)
+	}
+	return nil
 }
 
 // StartProcess instantiates a template and begins navigation. It returns
 // the new instance ID.
 func (e *Engine) StartProcess(template string, inputs map[string]ocr.Value, opts StartOptions) (string, error) {
+	if opts.InstanceID != "" {
+		if strings.ContainsRune(opts.InstanceID, '/') {
+			return "", fmt.Errorf("core: instance ID %q must not contain '/'", opts.InstanceID)
+		}
+		if err := e.checkOwned(opts.InstanceID); err != nil {
+			return "", err
+		}
+	}
 	e.emu.Lock()
 	tpl, ok := e.templates[template]
 	if !ok {
 		e.emu.Unlock()
 		return "", fmt.Errorf("%w: %s", ErrUnknownTemplate, template)
 	}
-	e.nextID++
-	id := fmt.Sprintf("p%04d", e.nextID)
+	id := opts.InstanceID
+	if id == "" {
+		e.nextID++
+		id = fmt.Sprintf("p%04d", e.nextID)
+	} else if _, exists := e.instances[id]; exists {
+		e.emu.Unlock()
+		return "", fmt.Errorf("%w: %s", ErrDuplicateID, id)
+	}
 	e.emu.Unlock()
 
 	in := &Instance{
@@ -481,6 +524,13 @@ func (e *Engine) StartProcess(template string, inputs map[string]ocr.Value, opts
 	// Publish only after initialization succeeded, so no other caller
 	// ever observes a half-built instance.
 	e.emu.Lock()
+	if _, exists := e.instances[id]; exists {
+		// Two racing starts with the same explicit ID: the loser backs
+		// out before publishing anything.
+		e.emu.Unlock()
+		mu.Unlock()
+		return "", fmt.Errorf("%w: %s", ErrDuplicateID, id)
+	}
 	e.instances[id] = in
 	e.order = append(e.order, id)
 	e.emu.Unlock()
@@ -600,6 +650,9 @@ func (e *Engine) RunningJobs() int {
 // finish but not starting new ones"); otherwise they are killed and
 // requeued.
 func (e *Engine) Suspend(id string, graceful bool) error {
+	if err := e.checkOwned(id); err != nil {
+		return err
+	}
 	in, ok := e.lookup(id)
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrUnknownInstance, id)
@@ -623,6 +676,9 @@ func (e *Engine) Suspend(id string, graceful bool) error {
 
 // Resume restarts dispatching for a suspended instance.
 func (e *Engine) Resume(id string) error {
+	if err := e.checkOwned(id); err != nil {
+		return err
+	}
 	in, ok := e.lookup(id)
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrUnknownInstance, id)
@@ -647,6 +703,9 @@ func (e *Engine) Resume(id string) error {
 
 // Abort fails an instance on user request.
 func (e *Engine) Abort(id string, reason string) error {
+	if err := e.checkOwned(id); err != nil {
+		return err
+	}
 	in, ok := e.lookup(id)
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrUnknownInstance, id)
@@ -673,6 +732,9 @@ func (e *Engine) Abort(id string, reason string) error {
 // instance (§3.4: "the user can ... change input parameters during each
 // step of the computation").
 func (e *Engine) SetParameter(id, name string, v ocr.Value) error {
+	if err := e.checkOwned(id); err != nil {
+		return err
+	}
 	in, ok := e.lookup(id)
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrUnknownInstance, id)

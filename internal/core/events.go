@@ -72,6 +72,9 @@ func (e *Engine) finishEventTask(in *Instance, sc *scope, t *ocr.Task, ts *taskS
 // its outputs; if none is waiting, the signal is buffered for the next
 // AWAIT on that event. Signalling a finished instance is an error.
 func (e *Engine) Signal(instanceID, event string, payload map[string]ocr.Value) error {
+	if err := e.checkOwned(instanceID); err != nil {
+		return err
+	}
 	in, ok := e.lookup(instanceID)
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrUnknownInstance, instanceID)

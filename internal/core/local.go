@@ -69,6 +69,12 @@ type LocalConfig struct {
 	// EventRing receives emitted events for live tailing (see
 	// Options.EventRing).
 	EventRing *obs.Ring
+	// Owns partitions instance ownership for federated members sharing a
+	// store (see Options.Owns).
+	Owns func(id string) bool
+	// LazyRecovery defers rebuilding suspended instances to first touch
+	// (see Options.LazyRecovery).
+	LazyRecovery bool
 }
 
 // NewLocalRuntime builds the pool and engine.
@@ -85,16 +91,18 @@ func NewLocalRuntime(cfg LocalConfig) (*LocalRuntime, error) {
 	rt := &LocalRuntime{Store: cfg.Store, start: time.Now()}
 	rt.exec = newLocalExec(rt, cfg.Workers)
 	eng, err := New(Options{
-		Store:     cfg.Store,
-		Library:   cfg.Library,
-		Executor:  rt.exec,
-		Clock:     ClockFunc(func() sim.Time { return sim.Time(time.Since(rt.start)) }),
-		Policy:    cfg.Policy,
-		OnEvent:   cfg.OnEvent,
-		OnError:   cfg.OnError,
-		Shards:    cfg.Shards,
-		Metrics:   cfg.Metrics,
-		EventRing: cfg.EventRing,
+		Store:        cfg.Store,
+		Library:      cfg.Library,
+		Executor:     rt.exec,
+		Clock:        ClockFunc(func() sim.Time { return sim.Time(time.Since(rt.start)) }),
+		Policy:       cfg.Policy,
+		OnEvent:      cfg.OnEvent,
+		OnError:      cfg.OnError,
+		Shards:       cfg.Shards,
+		Metrics:      cfg.Metrics,
+		EventRing:    cfg.EventRing,
+		Owns:         cfg.Owns,
+		LazyRecovery: cfg.LazyRecovery,
 		OnInstanceDone: func(*Instance) {
 			rt.Bump()
 		},

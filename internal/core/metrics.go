@@ -24,6 +24,7 @@ type engineMetrics struct {
 	ckptMarshal *obs.Histogram
 	ckptBytes   *obs.Counter
 	ckptRecords *obs.Counter
+	ckptFenced  *obs.Counter
 
 	// Scheduler instrumentation. Decision latency reads zero under the sim
 	// clock (virtual time does not advance mid-drain), keeping sim runs
@@ -72,6 +73,8 @@ func newEngineMetrics(reg *obs.Registry, e *Engine) *engineMetrics {
 		"Serialized checkpoint record bytes written.")
 	m.ckptRecords = reg.Counter("bioopera_checkpoint_records_total",
 		"Individual records written across checkpoint batches.")
+	m.ckptFenced = reg.Counter("bioopera_checkpoints_fenced_total",
+		"Checkpoint batches dropped by the ownership write fence.")
 	m.schedDecide = reg.Histogram("bioopera_sched_decide_seconds",
 		"Scheduler decision latency per dispatched (or declined) drain step.", nil)
 	m.preemptions = reg.Counter("bioopera_sched_preemptions_total",
@@ -159,6 +162,14 @@ func (m *engineMetrics) checkpoint(marshal time.Duration, bytes, records int) {
 	m.ckptMarshal.Observe(marshal.Seconds())
 	m.ckptBytes.Add(uint64(bytes))
 	m.ckptRecords.Add(uint64(records))
+}
+
+// fenced counts one checkpoint batch dropped by the ownership write fence.
+func (m *engineMetrics) fenced() {
+	if m == nil {
+		return
+	}
+	m.ckptFenced.Inc()
 }
 
 // decision records one scheduler drain step's decision latency.

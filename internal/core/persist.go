@@ -410,8 +410,7 @@ func (e *Engine) snapshotScope(in *Instance, ck *ckpt, sc *scope, archive bool) 
 // and the store batch happen in flushCkpt once endTurn releases the lock.
 func (e *Engine) persist(in *Instance) {
 	ck := getCkpt()
-	ck.seq = in.ckptSeq
-	in.ckptSeq++
+	ck.seq = in.nextCkptSeq()
 	ck.meta = buildInstanceDTO(in)
 	if len(in.dirty) > 0 {
 		ids := make([]string, 0, len(in.dirty))
@@ -437,8 +436,7 @@ func (e *Engine) persist(in *Instance) {
 // never leaves an instance half in each. Caller holds the shard lock.
 func (e *Engine) archive(in *Instance) {
 	ck := getCkpt()
-	ck.seq = in.ckptSeq
-	in.ckptSeq++
+	ck.seq = in.nextCkptSeq()
 	ck.archive = true
 	ck.meta = buildInstanceDTO(in)
 	ids := make([]string, 0, len(in.scopes))
@@ -580,7 +578,16 @@ func (e *Engine) flushCkpt(in *Instance, ck *ckpt) {
 		in.gateCond.Wait()
 	}
 	var err error
-	if len(ops) > 0 {
+	fenced := len(ops) > 0 && e.opts.Owns != nil && !e.opts.Owns(in.ID)
+	if fenced {
+		// Ownership write fence: the instance's partition moved to another
+		// server (lease lost, or this member is shutting down) after the
+		// checkpoint was cut. The new owner recovered from the last owned
+		// checkpoint and is now authoritative; committing this batch would
+		// clobber its records — or, for an archive, delete the very records
+		// it adopts from — so the batch is dropped, not written.
+		e.metrics.fenced()
+	} else if len(ops) > 0 {
 		err = e.opts.Store.Batch(ops)
 	}
 	// The gate always advances — even on error — so Crash's quiesce wait
@@ -646,6 +653,18 @@ func (e *Engine) remarkCkpt(in *Instance, ck *ckpt) {
 	}
 	in.pendingDeletes = append(in.pendingDeletes, ck.deletes...)
 	mu.Unlock()
+}
+
+// nextCkptSeq takes the next checkpoint sequence number. The counter
+// lives under gateMu so quiesceCkpts can read it while another
+// goroutine's turn is still cutting checkpoints; the caller holds the
+// shard lock, so per-turn sequence order is still total.
+func (in *Instance) nextCkptSeq() uint64 {
+	in.gateMu.Lock()
+	seq := in.ckptSeq
+	in.ckptSeq++
+	in.gateMu.Unlock()
+	return seq
 }
 
 // quiesceCkpts blocks until every in-flight checkpoint flush of the

@@ -152,7 +152,21 @@ func decodeInstanceRecords(kvs []store.KV) (map[string]*scopeRec, map[string]str
 // rest recover normally, each failure is reported through Options.OnError,
 // and the joined errors are returned alongside the count of instances that
 // did recover.
-func (e *Engine) Recover() (int, error) {
+//
+// A federated engine (Options.Owns set) adopts only instances in its own
+// partition; the rest stay in the store for their owners.
+func (e *Engine) Recover() (int, error) { return e.RecoverOwned(nil) }
+
+// RecoverOwned is the partition-scoped recovery entry point: it rebuilds
+// only the unfinished instances for which owns returns true. Federation
+// failover uses it to adopt exactly the orphaned partition a peer just
+// claimed, without re-scanning instances this engine already runs (already
+// registered instances are skipped either way). A nil owns falls back to
+// Options.Owns, so RecoverOwned(nil) is Recover.
+func (e *Engine) RecoverOwned(owns func(id string) bool) (int, error) {
+	if owns == nil {
+		owns = e.opts.Owns
+	}
 	kvs, err := e.opts.Store.List(store.Instance)
 	if err != nil {
 		return 0, err
@@ -204,6 +218,15 @@ func (e *Engine) Recover() (int, error) {
 		ids = append(ids, id)
 	}
 	sort.Strings(ids)
+	if owns != nil {
+		kept := ids[:0]
+		for _, id := range ids {
+			if owns(id) {
+				kept = append(kept, id)
+			}
+		}
+		ids = kept
+	}
 
 	// Phase 2 (parallel): decode and rebuild. Worker w handles the sorted
 	// indexes i with i%workers == w and writes only results[i]/buildErrs[i],

@@ -261,7 +261,6 @@ type Instance struct {
 	// store batch never run inside the critical section.
 	dirty          map[string]*scope // scopes with unpersisted changes
 	pendingCkpts   []*ckpt           // snapshots awaiting flush, in seq order
-	ckptSeq        uint64            // next checkpoint sequence number
 	pendingDeletes []string          // instance-space keys to delete at next flush
 	procRefs       map[string]bool   // process-text hashes already interned
 	pendingDone    bool              // fire OnInstanceDone after this turn's flush
@@ -269,9 +268,12 @@ type Instance struct {
 	// Commit gate: admits this instance's checkpoint batches strictly in
 	// sequence order once they leave the shard's critical section, so a
 	// later checkpoint can never overtake an earlier one. gateCond is
-	// created lazily under gateMu.
+	// created lazily under gateMu. ckptSeq lives under gateMu (not the
+	// shard) so quiesceCkpts can compare it against ckptDone while a turn
+	// of another goroutine is still cutting checkpoints.
 	gateMu   sync.Mutex
 	gateCond *sync.Cond
+	ckptSeq  uint64 // next checkpoint sequence number
 	ckptDone uint64 // checkpoints committed (== seq of the next admitted)
 
 	// Accounting (§5.2 measurements).

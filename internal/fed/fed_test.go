@@ -1,0 +1,83 @@
+package fed
+
+import (
+	"testing"
+)
+
+func TestMintIDRoundTrip(t *testing.T) {
+	id := MintID(5, "alpha", 3, 42)
+	if id != "f05-alpha.3-000042" {
+		t.Fatalf("MintID = %q", id)
+	}
+	if p := PartitionOf(id, 16); p != 5 {
+		t.Fatalf("PartitionOf(%q) = %d, want 5", id, p)
+	}
+	if m := MemberOf(id); m != "alpha" {
+		t.Fatalf("MemberOf(%q) = %q, want alpha", id, m)
+	}
+}
+
+func TestMintIDMemberWithDots(t *testing.T) {
+	// Member names may carry dots (hostnames); the boot epoch is the part
+	// after the LAST dot.
+	id := MintID(7, "node.example.org", 12, 1)
+	if m := MemberOf(id); m != "node.example.org" {
+		t.Fatalf("MemberOf(%q) = %q", id, m)
+	}
+	if p := PartitionOf(id, 16); p != 7 {
+		t.Fatalf("PartitionOf(%q) = %d", id, p)
+	}
+}
+
+func TestPartitionOfLegacyIDs(t *testing.T) {
+	// Engine-generated p-sequence IDs hash; the mapping just has to be
+	// deterministic and in range.
+	for _, id := range []string{"p0", "p17", "workflow-x"} {
+		p := PartitionOf(id, 16)
+		if p < 0 || p >= 16 {
+			t.Fatalf("PartitionOf(%q) = %d out of range", id, p)
+		}
+		if q := PartitionOf(id, 16); q != p {
+			t.Fatalf("PartitionOf(%q) unstable: %d then %d", id, p, q)
+		}
+	}
+}
+
+func TestSuccessorOfDeterministicAndComplete(t *testing.T) {
+	live := []string{"alpha", "beta", "gamma"}
+	counts := map[string]int{}
+	for p := 0; p < 64; p++ {
+		s := SuccessorOf(p, live)
+		if s == "" {
+			t.Fatalf("partition %d has no successor", p)
+		}
+		if s2 := SuccessorOf(p, live); s2 != s {
+			t.Fatalf("partition %d successor unstable: %q then %q", p, s, s2)
+		}
+		counts[s]++
+	}
+	for _, name := range live {
+		if counts[name] == 0 {
+			t.Fatalf("member %q got no partitions: %v", name, counts)
+		}
+	}
+	if s := SuccessorOf(3, nil); s != "" {
+		t.Fatalf("SuccessorOf with no live members = %q, want empty", s)
+	}
+}
+
+func TestSuccessorMinimalReshuffle(t *testing.T) {
+	// Rendezvous hashing: removing one member must only move the removed
+	// member's partitions.
+	before := make(map[int]string)
+	for p := 0; p < 64; p++ {
+		before[p] = SuccessorOf(p, []string{"alpha", "beta", "gamma"})
+	}
+	for p := 0; p < 64; p++ {
+		after := SuccessorOf(p, []string{"alpha", "gamma"})
+		if before[p] != "beta" && after != before[p] {
+			t.Fatalf("partition %d moved %q → %q though its owner stayed live",
+				p, before[p], after)
+		}
+	}
+}

@@ -1,0 +1,368 @@
+package fed
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"bioopera/internal/core"
+	"bioopera/internal/obs"
+	"bioopera/internal/ocr"
+	"bioopera/internal/store"
+)
+
+// fedTemplate chains three activities so instances stay in flight long
+// enough for a mid-run server kill to land on real work.
+const fedTemplate = `
+PROCESS Triple {
+  INPUT x;
+  OUTPUT r;
+  ACTIVITY A { CALL fed.step(x = x); OUT out; MAP out -> a; }
+  ACTIVITY B { CALL fed.step(x = a); OUT out; MAP out -> b; }
+  ACTIVITY C { CALL fed.step(x = b); OUT out; MAP out -> r; }
+  A -> B;
+  B -> C;
+}`
+
+func fedLib() *core.Library {
+	lib := core.NewLibrary()
+	lib.Register(core.Program{
+		Name: "fed.step",
+		Run: func(_ core.ProgramCtx, args map[string]ocr.Value) (map[string]ocr.Value, error) {
+			time.Sleep(30 * time.Millisecond)
+			return map[string]ocr.Value{"out": ocr.Num(args["x"].AsNum()*2 + 1)}, nil
+		},
+	})
+	return lib
+}
+
+func newTestMember(t *testing.T, name string, join []string, st store.Store, reg *obs.Registry) *Member {
+	t.Helper()
+	m, err := NewMember(Config{
+		Name:             name,
+		ListenAddr:       "127.0.0.1:0",
+		Join:             join,
+		Store:            st,
+		Library:          fedLib(),
+		Workers:          2,
+		Partitions:       8,
+		HeartbeatEvery:   25 * time.Millisecond,
+		HeartbeatTimeout: 100 * time.Millisecond,
+		LazyRecovery:     true,
+		Metrics:          reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Runtime().RegisterTemplateSource(fedTemplate); err != nil {
+		m.Close()
+		t.Fatal(err)
+	}
+	return m
+}
+
+// waitBalanced polls until every partition has exactly one owner among the
+// members and every member owns at least one partition.
+func waitBalanced(t *testing.T, members []*Member, partitions int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		owners := make(map[int]int)
+		short := false
+		for _, m := range members {
+			owned := m.OwnedPartitions()
+			if len(owned) == 0 {
+				short = true
+			}
+			for _, p := range owned {
+				owners[p]++
+			}
+		}
+		if !short && len(owners) == partitions {
+			ok := true
+			for _, n := range owners {
+				if n != 1 {
+					ok = false
+				}
+			}
+			if ok {
+				return
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	for _, m := range members {
+		t.Logf("%s owns %v", m.Name(), m.OwnedPartitions())
+	}
+	t.Fatal("ownership never balanced")
+}
+
+// canonicalOutputs marshals an output map; encoding/json sorts keys, so
+// equal states produce identical bytes.
+func canonicalOutputs(t *testing.T, outputs map[string]ocr.Value) []byte {
+	t.Helper()
+	data, err := json.Marshal(outputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestFederatedFailoverE2E is the acceptance run: three members behind a
+// gateway, one killed mid-run, every instance completes, and the final
+// outputs are byte-identical with a single-server run of the same work.
+func TestFederatedFailoverE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("federation e2e needs real heartbeats")
+	}
+	const n = 12
+	st := store.NewMem()
+	reg := obs.NewRegistry()
+	a := newTestMember(t, "alpha", nil, st, reg)
+	defer a.Close()
+	b := newTestMember(t, "beta", []string{a.Addr()}, st, reg)
+	defer b.Close()
+	c := newTestMember(t, "gamma", []string{a.Addr(), b.Addr()}, st, reg)
+	defer c.Close()
+	members := []*Member{a, b, c}
+	waitBalanced(t, members, 8)
+
+	gw, err := NewGateway(GatewayConfig{
+		Members:      []string{a.Addr(), b.Addr(), c.Addr()},
+		Metrics:      reg,
+		CallTimeout:  5 * time.Second,
+		Retries:      60,
+		RetryBackoff: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gw.Close()
+
+	ids := make([]string, n)
+	for i := 0; i < n; i++ {
+		id, err := gw.Start(StartReq{Template: "Triple",
+			Inputs: map[string]ocr.Value{"x": ocr.Int(i)}})
+		if err != nil {
+			t.Fatalf("start %d: %v", i, err)
+		}
+		ids[i] = id
+	}
+
+	// Kill the member that minted the first instance while its three-step
+	// chains are still running.
+	victim := MemberOf(ids[0])
+	var killed *Member
+	var survivors []*Member
+	for _, m := range members {
+		if m.Name() == victim {
+			killed = m
+		} else {
+			survivors = append(survivors, m)
+		}
+	}
+	if killed == nil {
+		t.Fatalf("no member named %q (ids[0]=%s)", victim, ids[0])
+	}
+	time.Sleep(20 * time.Millisecond) // let dispatch begin
+	killedPartitions := killed.OwnedPartitions()
+	killedInc := killed.Incarnation()
+	killed.Close()
+	t.Logf("killed %s (partitions %v)", victim, killedPartitions)
+
+	results := make([][]byte, n)
+	for i, id := range ids {
+		res, err := gw.Wait(id, 30*time.Second)
+		if err != nil {
+			t.Fatalf("wait %s: %v", id, err)
+		}
+		if res.Status != core.InstanceDone.String() {
+			t.Fatalf("instance %s ended %s (%s)", id, res.Status, res.Failure)
+		}
+		// ((x*2+1)*2+1)*2+1 = 8x+7
+		if got, want := res.Outputs["r"].AsNum(), float64(i*8+7); got != want {
+			t.Fatalf("instance %s r = %v, want %v", id, got, want)
+		}
+		results[i] = canonicalOutputs(t, res.Outputs)
+	}
+
+	// The dead member's partitions must have been reclaimed under a newer
+	// incarnation by a survivor.
+	leases := survivors[0].Leases()
+	for _, p := range killedPartitions {
+		l, err := leases.Get(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l.Owner == victim || l.Owner == "" {
+			t.Fatalf("partition %d still leased to %q after failover", p, l.Owner)
+		}
+		if l.Incarnation <= killedInc {
+			t.Fatalf("partition %d reclaimed under incarnation %d, not newer than %d",
+				p, l.Incarnation, killedInc)
+		}
+	}
+
+	// Federation metrics observed the transfer.
+	transfers := reg.Counter("bioopera_fed_ownership_transfers_total", "")
+	if transfers.Value() == 0 {
+		t.Fatal("ownership-transfer counter never moved")
+	}
+	failover := reg.Histogram("bioopera_fed_failover_seconds", "", nil)
+	if failover.Count() == 0 {
+		t.Fatal("failover histogram never observed")
+	}
+
+	// Byte-identical check: the same inputs through one standalone engine
+	// must produce the same final output state, position by position.
+	solo, err := core.NewLocalRuntime(core.LocalConfig{Workers: 4, Library: fedLib()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer solo.Close()
+	if err := solo.RegisterTemplateSource(fedTemplate); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		id, err := solo.StartProcess("Triple",
+			map[string]ocr.Value{"x": ocr.Int(i)}, core.StartOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		in, err := solo.Wait(id, 30*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if soloBytes := canonicalOutputs(t, in.Outputs); string(soloBytes) != string(results[i]) {
+			t.Fatalf("instance %d diverged:\nfederated: %s\nsolo:      %s",
+				i, results[i], soloBytes)
+		}
+	}
+}
+
+// TestGatewayRetryAfterRedirect poisons the gateway's routing table and
+// checks that the member's redirect heals it within one retry.
+func TestGatewayRetryAfterRedirect(t *testing.T) {
+	st := store.NewMem()
+	reg := obs.NewRegistry()
+	a := newTestMember(t, "alpha", nil, st, reg)
+	defer a.Close()
+	b := newTestMember(t, "beta", []string{a.Addr()}, st, reg)
+	defer b.Close()
+	waitBalanced(t, []*Member{a, b}, 8)
+
+	gw, err := NewGateway(GatewayConfig{
+		Members:      []string{a.Addr(), b.Addr()},
+		Metrics:      reg,
+		CallTimeout:  5 * time.Second,
+		Retries:      20,
+		RetryBackoff: 25 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gw.Close()
+
+	id, err := gw.Start(StartReq{Template: "Triple",
+		Inputs: map[string]ocr.Value{"x": ocr.Int(1)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gw.Wait(id, 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Poison the route: pretend the wrong member owns the instance's
+	// partition and hide the minter so the partition route is used.
+	minter := MemberOf(id)
+	wrong := "alpha"
+	if minter == "alpha" {
+		wrong = "beta"
+	}
+	gw.mu.Lock()
+	gw.live[minter] = false
+	gw.owners[PartitionOf(id, 8)] = wrong
+	gw.mu.Unlock()
+
+	redirectsBefore := reg.CounterVec("bioopera_fed_routed_rpcs_total", "", "outcome").
+		With(outcomeRedirect).Value()
+	res, err := gw.Status(id)
+	if err != nil {
+		t.Fatalf("status after poisoned route: %v", err)
+	}
+	if res.Status != core.InstanceDone.String() {
+		t.Fatalf("status = %s", res.Status)
+	}
+	redirectsAfter := reg.CounterVec("bioopera_fed_routed_rpcs_total", "", "outcome").
+		With(outcomeRedirect).Value()
+	if redirectsAfter <= redirectsBefore {
+		t.Fatal("redirect counter never moved — the stale route was not exercised")
+	}
+
+	// The healed table now routes directly: the next call answers without
+	// another redirect.
+	healedBefore := redirectsAfter
+	if _, err := gw.Status(id); err != nil {
+		t.Fatal(err)
+	}
+	if v := reg.CounterVec("bioopera_fed_routed_rpcs_total", "", "outcome").
+		With(outcomeRedirect).Value(); v != healedBefore {
+		t.Fatalf("healed route still redirected (%d → %d)", healedBefore, v)
+	}
+}
+
+// TestMemberRestartReclaimsOwnLeases restarts a member against the same
+// store and checks it re-claims its partitions under a fresh incarnation.
+func TestMemberRestartReclaimsOwnLeases(t *testing.T) {
+	st := store.NewMem()
+	a := newTestMember(t, "alpha", nil, st, nil)
+	waitBalanced(t, []*Member{a}, 8)
+	firstInc := a.Incarnation()
+	a.Close()
+
+	a2 := newTestMember(t, "alpha", nil, st, nil)
+	defer a2.Close()
+	waitBalanced(t, []*Member{a2}, 8)
+	if a2.Incarnation() <= firstInc {
+		t.Fatalf("restart incarnation %d not newer than %d", a2.Incarnation(), firstInc)
+	}
+	l, err := a2.Leases().Get(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Owner != "alpha" {
+		t.Fatalf("partition 0 owned by %q after restart", l.Owner)
+	}
+	if l.Incarnation <= firstInc {
+		t.Fatalf("partition 0 lease incarnation %d predates the restart (boot was %d)",
+			l.Incarnation, firstInc)
+	}
+}
+
+// TestStartRejectedWithoutPartition checks the member-side error a gateway
+// retries on.
+func TestStartRejectedWithoutPartition(t *testing.T) {
+	st := store.NewMem()
+	// A member joined to a nonexistent seed never settles quickly and owns
+	// nothing at first; starting must fail with ErrNoPartition, not hang.
+	m, err := NewMember(Config{
+		Name:             "late",
+		ListenAddr:       "127.0.0.1:0",
+		Join:             []string{"127.0.0.1:1"},
+		Store:            st,
+		Library:          fedLib(),
+		Workers:          1,
+		Partitions:       8,
+		HeartbeatEvery:   50 * time.Millisecond,
+		HeartbeatTimeout: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if _, err := m.mintID(); err == nil {
+		t.Fatal("mintID succeeded with no owned partitions")
+	} else if got := err.Error(); got != ErrNoPartition.Error() {
+		t.Fatalf("mintID error = %q", got)
+	}
+}

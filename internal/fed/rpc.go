@@ -1,0 +1,81 @@
+package fed
+
+import (
+	"bioopera/internal/ocr"
+	"bioopera/internal/remote"
+)
+
+// RPC method names carried in remote.FedFrame.Method. Instance-scoped
+// methods route by the frame's Instance field; "start" goes to any live
+// member (the member mints an ID in a partition it owns) and "members"
+// answers from whoever is asked.
+const (
+	MethodStart    = "start"
+	MethodStatus   = "status"
+	MethodWait     = "wait"
+	MethodResume   = "resume"
+	MethodSuspend  = "suspend"
+	MethodAbort    = "abort"
+	MethodSignal   = "signal"
+	MethodSetParam = "setparam"
+	MethodLineage  = "lineage"
+	MethodMembers  = "members"
+)
+
+// StartReq asks a member to instantiate a template.
+type StartReq struct {
+	Template string               `json:"template"`
+	Inputs   map[string]ocr.Value `json:"inputs,omitempty"`
+	Priority int                  `json:"priority,omitempty"`
+	Nice     bool                 `json:"nice,omitempty"`
+	Tenant   string               `json:"tenant,omitempty"`
+}
+
+// StartRes returns the minted instance ID.
+type StartRes struct {
+	ID string `json:"id"`
+}
+
+// StateRes is the result of status and wait: the instance's current (or
+// final) state.
+type StateRes struct {
+	Status  string               `json:"status"`
+	Outputs map[string]ocr.Value `json:"outputs,omitempty"`
+	Failure string               `json:"failure,omitempty"`
+}
+
+// WaitReq bounds a wait call; the serving member also caps it.
+type WaitReq struct {
+	TimeoutMs int64 `json:"timeoutMs"`
+}
+
+// SuspendReq carries the graceful flag of a suspend call.
+type SuspendReq struct {
+	Graceful bool `json:"graceful"`
+}
+
+// AbortReq carries the user-visible abort reason.
+type AbortReq struct {
+	Reason string `json:"reason,omitempty"`
+}
+
+// SignalReq delivers an external event to an instance.
+type SignalReq struct {
+	Event   string               `json:"event"`
+	Payload map[string]ocr.Value `json:"payload,omitempty"`
+}
+
+// SetParamReq changes one whiteboard value.
+type SetParamReq struct {
+	Name  string    `json:"name"`
+	Value ocr.Value `json:"value"`
+}
+
+// MembersView is the federation's membership and routing snapshot: the
+// partition count every member agreed on and each member's identity,
+// liveness, and owned partitions. Gateways derive their routing table
+// from it.
+type MembersView struct {
+	Partitions int                `json:"partitions"`
+	Members    []remote.FedMember `json:"members"`
+}

@@ -205,6 +205,7 @@ func deterministicPkg(path string) bool {
 		"bioopera/internal/obs",
 		"bioopera/internal/wal",
 		"bioopera/internal/store",
+		"bioopera/internal/fed",
 		"bioopera/internal/allvsall":
 		return true
 	}

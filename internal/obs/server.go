@@ -98,6 +98,24 @@ type ClusterInfo struct {
 	RunningJobs int                `json:"runningJobs"`
 	QueueDepth  int                `json:"queueDepth"`
 	Loads       map[string]float64 `json:"reportedLoads,omitempty"`
+	// Members is the federation membership view when the source runs
+	// inside a federated server (see MemberLister); absent otherwise.
+	Members []MemberView `json:"members,omitempty"`
+}
+
+// MemberView is one federation member as reported on /api/cluster.
+type MemberView struct {
+	Name        string `json:"name"`
+	Addr        string `json:"addr,omitempty"`
+	Incarnation uint64 `json:"incarnation"`
+	Up          bool   `json:"up"`
+	Partitions  []int  `json:"partitions,omitempty"`
+}
+
+// MemberLister is the optional Source extension federated servers
+// implement; when present, /api/cluster includes the membership view.
+type MemberLister interface {
+	Members() []MemberView
 }
 
 // JobInfo is one activity hit by a hypothetical outage.
@@ -240,7 +258,11 @@ func (s *Server) instance(w http.ResponseWriter, req *http.Request) {
 }
 
 func (s *Server) cluster(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, s.cfg.Source.Cluster())
+	ci := s.cfg.Source.Cluster()
+	if ml, ok := s.cfg.Source.(MemberLister); ok {
+		ci.Members = ml.Members()
+	}
+	writeJSON(w, ci)
 }
 
 func (s *Server) whatIf(w http.ResponseWriter, req *http.Request) {

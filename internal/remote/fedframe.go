@@ -1,0 +1,75 @@
+package remote
+
+import (
+	"encoding/json"
+)
+
+// Federation frames ride the same newline-delimited JSON-over-TCP framing
+// as the worker protocol, on the federation listener of each engine server
+// (internal/fed). Two conversations share the frame type:
+//
+//	member ↔ member   fed-hello    sender identity on dial
+//	member ↔ member   fed-gossip   heartbeat + piggybacked membership view
+//	client  → member  fed-request  routed engine RPC (start/resume/abort/
+//	                               signal/setparam/status/wait/lineage/
+//	                               members/route)
+//	member  → client  fed-response result, error, or a redirect naming the
+//	                               owning member when the route was stale
+//
+// The gateway speaks both sides: it answers fed-requests from drivers and
+// forwards them as fed-requests to the owning member, refreshing its
+// routing table and retrying when a response carries Redirect.
+const (
+	MsgFedHello    = "fed-hello"
+	MsgFedGossip   = "fed-gossip"
+	MsgFedRequest  = "fed-request"
+	MsgFedResponse = "fed-response"
+)
+
+// FedMember is one engine server in the federation's membership view, as
+// gossiped between members and served to gateways and monitors.
+type FedMember struct {
+	Name string `json:"name"`
+	Addr string `json:"addr"`
+	// Incarnation is the member's boot epoch from the lease table; lease
+	// claims under an older incarnation than the recorded one are stale
+	// and rejected (split-brain fencing).
+	Incarnation uint64 `json:"incarnation"`
+	// Up reflects the sender's failure detector, not ground truth.
+	Up bool `json:"up"`
+	// Partitions this member owned when the view was assembled.
+	Partitions []int `json:"partitions,omitempty"`
+	// Load mirrors the heartbeat load field: observed external load on
+	// the member's machine, 0..1.
+	Load float64 `json:"load,omitempty"`
+}
+
+// FedFrame is the single federation wire frame; Type says which fields are
+// meaningful. Params and Result stay raw so the frame layer needs no
+// knowledge of individual RPC payloads.
+type FedFrame struct {
+	Type string `json:"type"`
+
+	// fed-hello / fed-gossip: the sender and (gossip) its current view.
+	From    FedMember   `json:"from,omitempty"`
+	Members []FedMember `json:"members,omitempty"`
+
+	// fed-request / fed-response: ID correlates a response to its
+	// request on a multiplexed connection.
+	ID       uint64          `json:"id,omitempty"`
+	Method   string          `json:"method,omitempty"`
+	Instance string          `json:"instance,omitempty"`
+	Params   json.RawMessage `json:"params,omitempty"`
+
+	// fed-response.
+	OK     bool            `json:"ok,omitempty"`
+	Error  string          `json:"error,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
+	// Redirect names the member the sender believes owns the instance;
+	// the caller refreshes its route for the instance's partition and
+	// retries there.
+	Redirect string `json:"redirect,omitempty"`
+	// RedirectAddr is the dial address for Redirect, when the sender
+	// knows it, saving the caller a membership round-trip.
+	RedirectAddr string `json:"redirectAddr,omitempty"`
+}

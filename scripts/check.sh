@@ -36,4 +36,9 @@ if [ "${1:-}" = "-race" ]; then
     go test -race ./...
 fi
 
+echo "== federation e2e smoke"
+# Two servers and a gateway in one process; one server is killed mid-run
+# and every instance must still complete with correct outputs.
+go run ./cmd/bioopera fed -servers 2 -n 6 -kill
+
 echo "OK"

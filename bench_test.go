@@ -719,7 +719,10 @@ func recoverSeeds(b *testing.B) recoverSeedSet {
 
 // buildRecoveryStore stamps n instances into a fresh store, activePct of
 // them running and the rest suspended — the "huge dormant population, tiny
-// active set" profile a long-lived virtual laboratory accumulates.
+// active set" profile a long-lived virtual laboratory accumulates. The
+// clone IDs must be exactly as long as the seed IDs: binary codec records
+// length-prefix their strings, so only a same-length substitution leaves
+// the record framing intact (JSON records never cared).
 func buildRecoveryStore(b *testing.B, dst store.Store, n int, seeds recoverSeedSet) {
 	b.Helper()
 	nActive := n / 100 // 1% active
@@ -731,7 +734,11 @@ func buildRecoveryStore(b *testing.B, dst store.Store, n int, seeds recoverSeedS
 		if i < nActive {
 			seed, oldID = seeds.act, seeds.actID
 		}
-		newID := fmt.Sprintf("p5%06d", i)
+		suffix := strconv.FormatInt(int64(i), 36)
+		newID := oldID[:len(oldID)-len(suffix)] + suffix
+		if len(newID) != len(oldID) {
+			b.Fatalf("clone ID %q length differs from seed %q", newID, oldID)
+		}
 		for _, kv := range seed {
 			key := strings.ReplaceAll(kv.Key, oldID, newID)
 			val := bytes.ReplaceAll(kv.Value, []byte(oldID), []byte(newID))

@@ -67,6 +67,8 @@ func main() {
 		err = cmdFed(os.Args[2:])
 	case "history":
 		err = cmdHistory(os.Args[2:])
+	case "records":
+		err = cmdRecords(os.Args[2:])
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -97,6 +99,7 @@ commands:
   gateway [flags]              route client RPCs to a federation of servers
   fed [file.ocr] [flags]       federation in a box: N servers + gateway demo
   history <store-dir> [flags]  inspect a persistent store: past runs, events
+  records <store-dir> [flags]  decode and pretty-print persist records (both formats)
 
 run and simulate accept -store <dir> to persist templates, state and
 history to disk (inspect them later with the history command).
@@ -668,14 +671,21 @@ func cmdHistory(args []string) error {
 			if !strings.HasPrefix(kv.Key, "inst/") {
 				continue
 			}
-			var h historyInstance
-			if err := json.Unmarshal(kv.Value, &h); err != nil {
+			// DecodeInstanceMeta reads both record formats (binary codec
+			// and legacy JSON).
+			m, err := core.DecodeInstanceMeta(kv.Value)
+			if err != nil {
 				continue
 			}
-			if *instance != "" && h.ID != *instance {
+			if *instance != "" && m.ID != *instance {
 				continue
 			}
-			insts = append(insts, h)
+			insts = append(insts, historyInstance{
+				ID: m.ID, Template: m.Template, Status: m.Status,
+				Started: time.Duration(m.Started), Ended: time.Duration(m.Ended),
+				Activities: m.Activities, CPU: m.CPU, Failures: m.Failures,
+				Outputs: m.Outputs, Reason: m.FailureReason,
+			})
 		}
 		if len(insts) == 0 {
 			return nil

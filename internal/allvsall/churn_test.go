@@ -1,7 +1,6 @@
 package allvsall
 
 import (
-	"encoding/json"
 	"math"
 	"math/rand"
 	"testing"
@@ -113,11 +112,8 @@ func historyOutput(t *testing.T, s store.Store, id, name string) ocr.Value {
 	if err != nil || !ok {
 		t.Fatalf("instance %s absent from history too (%v)", id, err)
 	}
-	var rec struct {
-		Status  core.InstanceStatus  `json:"status"`
-		Outputs map[string]ocr.Value `json:"outputs"`
-	}
-	if err := json.Unmarshal(raw, &rec); err != nil {
+	rec, err := core.DecodeInstanceMeta(raw)
+	if err != nil {
 		t.Fatal(err)
 	}
 	if rec.Status != core.InstanceDone {

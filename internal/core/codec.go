@@ -1,0 +1,372 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"bioopera/internal/codec"
+	"bioopera/internal/ocr"
+	"bioopera/internal/sim"
+	"bioopera/internal/store"
+)
+
+// Binary encoders/decoders for the persist-record DTO families (DESIGN.md
+// §12). The checkpoint flusher encodes through these; recovery decodes both
+// formats forever — the decode* helpers sniff the codec magic byte and fall
+// back to encoding/json for records written by earlier engine generations.
+// Interned proc/ records are raw process text and stay format-free.
+
+// Record kinds of the core persist families. The store's WAL records use a
+// disjoint range (see internal/store) so a misfiled record fails loudly.
+const (
+	recMeta   byte = 1 // inst/<id>
+	recCreate byte = 2 // scopec/<id>/<scope>
+	recDyn    byte = 3 // scoped/<id>/<scope>
+	recTask   byte = 4 // task/<id>/<scope>/<task>
+)
+
+func encodeMeta(e *codec.Encoder, dto *instanceDTO) int {
+	e.Begin(recMeta)
+	e.String(dto.ID)
+	e.String(dto.Template)
+	e.Uvarint(uint64(dto.Status))
+	e.Int(int64(dto.Priority))
+	e.Bool(dto.Nice)
+	e.String(dto.Tenant)
+	e.Int(int64(dto.Started))
+	e.Int(int64(dto.Ended))
+	e.Int(int64(dto.Activities))
+	e.Int(int64(dto.CPU))
+	e.Int(int64(dto.Failures))
+	e.Int(int64(dto.Retries))
+	e.ValueMap(dto.Outputs)
+	e.String(dto.FailureReason)
+	return e.End()
+}
+
+func decodeMetaBinary(data []byte) (instanceDTO, error) {
+	d, kind, err := codec.NewDecoder(data)
+	if err != nil {
+		return instanceDTO{}, err
+	}
+	if kind != recMeta {
+		return instanceDTO{}, fmt.Errorf("%w: kind %d is not an instance record", codec.ErrCorrupt, kind)
+	}
+	dto := instanceDTO{
+		ID:       d.String(),
+		Template: d.String(),
+		Status:   InstanceStatus(d.Uvarint()),
+		Priority: int(d.Int()),
+		Nice:     d.Bool(),
+		Tenant:   d.String(),
+		Started:  sim.Time(d.Int()),
+		Ended:    sim.Time(d.Int()),
+	}
+	dto.Activities = int(d.Int())
+	dto.CPU = time.Duration(d.Int())
+	dto.Failures = int(d.Int())
+	dto.Retries = int(d.Int())
+	dto.Outputs = d.ValueMap()
+	dto.FailureReason = d.String()
+	return dto, d.Finish()
+}
+
+func encodeCreate(e *codec.Encoder, dto *scopeCreateDTO) int {
+	e.Begin(recCreate)
+	e.String(dto.ID)
+	e.String(dto.Parent)
+	e.Bool(dto.IsRoot)
+	e.String(dto.ParentTask)
+	e.Int(int64(dto.ElemIndex))
+	e.String(dto.ProcRef)
+	e.String(dto.ProcText)
+	return e.End()
+}
+
+func decodeCreateBinary(data []byte) (scopeCreateDTO, error) {
+	d, kind, err := codec.NewDecoder(data)
+	if err != nil {
+		return scopeCreateDTO{}, err
+	}
+	if kind != recCreate {
+		return scopeCreateDTO{}, fmt.Errorf("%w: kind %d is not a scope-create record", codec.ErrCorrupt, kind)
+	}
+	dto := scopeCreateDTO{
+		ID:         d.String(),
+		Parent:     d.String(),
+		IsRoot:     d.Bool(),
+		ParentTask: d.String(),
+		ElemIndex:  int(d.Int()),
+		ProcRef:    d.String(),
+		ProcText:   d.String(),
+	}
+	return dto, d.Finish()
+}
+
+func encodeDyn(e *codec.Encoder, dto *scopeDynDTO) int {
+	e.Begin(recDyn)
+	e.ValueMap(dto.Entries)
+	e.StringSlice(dto.Drop)
+	e.Bool(dto.Full)
+	e.Bool(dto.Done)
+	return e.End()
+}
+
+func decodeDynBinary(data []byte) (scopeDynDTO, error) {
+	d, kind, err := codec.NewDecoder(data)
+	if err != nil {
+		return scopeDynDTO{}, err
+	}
+	if kind != recDyn {
+		return scopeDynDTO{}, fmt.Errorf("%w: kind %d is not a scope-dynamic record", codec.ErrCorrupt, kind)
+	}
+	dto := scopeDynDTO{
+		Entries: d.ValueMap(),
+		Drop:    d.StringSlice(),
+		Full:    d.Bool(),
+		Done:    d.Bool(),
+	}
+	return dto, d.Finish()
+}
+
+func encodeTask(e *codec.Encoder, dto *taskDTO) int {
+	e.Begin(recTask)
+	e.String(dto.Name)
+	e.Uvarint(uint64(dto.Status))
+	e.Int(int64(dto.Attempts))
+	e.ValueMap(dto.Inputs)
+	e.ValueMap(dto.Outputs)
+	e.String(dto.Node)
+	e.String(dto.Job)
+	e.String(dto.AltOf)
+	e.Int(int64(dto.ReadyAt))
+	e.Int(int64(dto.StartedAt))
+	e.Int(int64(dto.EndedAt))
+	e.Int(int64(dto.CPUTime))
+	e.Int(int64(dto.ChildWaiting))
+	e.ValueSlice(dto.Results)
+	e.ValueSlice(dto.OverElems)
+	return e.End()
+}
+
+func decodeTaskBinary(data []byte) (taskDTO, error) {
+	d, kind, err := codec.NewDecoder(data)
+	if err != nil {
+		return taskDTO{}, err
+	}
+	if kind != recTask {
+		return taskDTO{}, fmt.Errorf("%w: kind %d is not a task record", codec.ErrCorrupt, kind)
+	}
+	dto := taskDTO{
+		Name:     d.String(),
+		Status:   TaskStatus(d.Uvarint()),
+		Attempts: int(d.Int()),
+		Inputs:   d.ValueMap(),
+		Outputs:  d.ValueMap(),
+		Node:     d.String(),
+		Job:      d.String(),
+		AltOf:    d.String(),
+	}
+	dto.ReadyAt = sim.Time(d.Int())
+	dto.StartedAt = sim.Time(d.Int())
+	dto.EndedAt = sim.Time(d.Int())
+	dto.CPUTime = time.Duration(d.Int())
+	dto.ChildWaiting = int(d.Int())
+	dto.Results = d.ValueSlice()
+	dto.OverElems = d.ValueSlice()
+	return dto, d.Finish()
+}
+
+// The dual-format decoders: binary records carry the codec magic, legacy
+// JSON records start with '{'. wasJSON lets recovery mark JSON-sourced
+// records for conversion — the first post-recovery checkpoint rewrites
+// them binary, the same convert-in-place rule PR 5 used for whole-scope
+// records.
+
+func decodeMetaRecord(data []byte) (dto instanceDTO, wasJSON bool, err error) {
+	if codec.Sniff(data) {
+		dto, err = decodeMetaBinary(data)
+		return dto, false, err
+	}
+	err = json.Unmarshal(data, &dto)
+	return dto, err == nil, err
+}
+
+func decodeCreateRecord(data []byte) (dto scopeCreateDTO, wasJSON bool, err error) {
+	if codec.Sniff(data) {
+		dto, err = decodeCreateBinary(data)
+		return dto, false, err
+	}
+	err = json.Unmarshal(data, &dto)
+	return dto, err == nil, err
+}
+
+func decodeDynRecord(data []byte) (dto scopeDynDTO, wasJSON bool, err error) {
+	if codec.Sniff(data) {
+		dto, err = decodeDynBinary(data)
+		return dto, false, err
+	}
+	err = json.Unmarshal(data, &dto)
+	return dto, err == nil, err
+}
+
+func decodeTaskRecord(data []byte) (dto taskDTO, wasJSON bool, err error) {
+	if codec.Sniff(data) {
+		dto, err = decodeTaskBinary(data)
+		return dto, false, err
+	}
+	err = json.Unmarshal(data, &dto)
+	return dto, err == nil, err
+}
+
+// DecodeInstanceMeta decodes an inst/<id> record of either format into its
+// exported shape — the operator-facing view used by the history CLI and
+// the records inspector.
+func DecodeInstanceMeta(data []byte) (InstanceMeta, error) {
+	dto, _, err := decodeMetaRecord(data)
+	if err != nil {
+		return InstanceMeta{}, err
+	}
+	return InstanceMeta{
+		ID: dto.ID, Template: dto.Template, Status: dto.Status,
+		Priority: dto.Priority, Nice: dto.Nice, Tenant: dto.Tenant,
+		Started: dto.Started, Ended: dto.Ended,
+		Activities: dto.Activities, CPU: dto.CPU,
+		Failures: dto.Failures, Retries: dto.Retries,
+		Outputs: dto.Outputs, FailureReason: dto.FailureReason,
+	}, nil
+}
+
+// InstanceMeta is the exported form of an instance metadata record.
+type InstanceMeta struct {
+	ID            string               `json:"id"`
+	Template      string               `json:"template"`
+	Status        InstanceStatus       `json:"status"`
+	Priority      int                  `json:"priority,omitempty"`
+	Nice          bool                 `json:"nice,omitempty"`
+	Tenant        string               `json:"tenant,omitempty"`
+	Started       sim.Time             `json:"started"`
+	Ended         sim.Time             `json:"ended,omitempty"`
+	Activities    int                  `json:"activities,omitempty"`
+	CPU           time.Duration        `json:"cpu,omitempty"`
+	Failures      int                  `json:"failures,omitempty"`
+	Retries       int                  `json:"retries,omitempty"`
+	Outputs       map[string]ocr.Value `json:"outputs,omitempty"`
+	FailureReason string               `json:"failureReason,omitempty"`
+}
+
+// FormatRecord renders one instance/history-space store record for a human:
+// binary and legacy JSON records both come back as canonical indented JSON,
+// interned process texts as the raw text. format names what was on disk
+// ("binary", "json", or "text").
+func FormatRecord(key string, value []byte) (format, rendered string, err error) {
+	render := func(v any) (string, error) {
+		out, err := json.MarshalIndent(v, "", "  ")
+		return string(out), err
+	}
+	format = "json"
+	if codec.Sniff(value) {
+		format = "binary"
+	}
+	switch {
+	case strings.HasPrefix(key, "inst/"):
+		dto, _, err := decodeMetaRecord(value)
+		if err != nil {
+			return format, "", err
+		}
+		rendered, err = render(dto)
+		return format, rendered, err
+	case strings.HasPrefix(key, "scopec/"):
+		dto, _, err := decodeCreateRecord(value)
+		if err != nil {
+			return format, "", err
+		}
+		rendered, err = render(dto)
+		return format, rendered, err
+	case strings.HasPrefix(key, "scoped/"):
+		dto, _, err := decodeDynRecord(value)
+		if err != nil {
+			return format, "", err
+		}
+		rendered, err = render(dto)
+		return format, rendered, err
+	case strings.HasPrefix(key, "task/"):
+		dto, _, err := decodeTaskRecord(value)
+		if err != nil {
+			return format, "", err
+		}
+		rendered, err = render(dto)
+		return format, rendered, err
+	case strings.HasPrefix(key, "scope/"):
+		var dto scopeDTO
+		if err := json.Unmarshal(value, &dto); err != nil {
+			return format, "", err
+		}
+		rendered, err = render(dto)
+		return format, rendered, err
+	case strings.HasPrefix(key, "proc/"):
+		return "text", string(value), nil
+	}
+	return format, "", fmt.Errorf("core: unknown record family for key %q", key)
+}
+
+// encodeCkpt encodes every DTO of a checkpoint into the checkpoint's
+// pooled encoder and assembles the store ops. Spans are taken only after
+// all records are encoded — appending can relocate the encoder's buffer.
+// Binary encoding is total (unlike JSON, which rejects NaN numbers), so
+// there is no per-record failure path: a whiteboard value that would have
+// poisoned a JSON checkpoint now round-trips.
+func encodeCkpt(in *Instance, ck *ckpt, space store.Space) (ops []store.Op, bytes int) {
+	e := &ck.enc
+	e.Reset()
+	encodeMeta(e, &ck.meta)
+	for i := range ck.creates {
+		encodeCreate(e, &ck.creates[i].dto)
+	}
+	for i := range ck.dyns {
+		encodeDyn(e, &ck.dyns[i].dto)
+	}
+	for i := range ck.tasks {
+		encodeTask(e, &ck.tasks[i].dto)
+	}
+	ops = ck.ops[:0]
+	next := 0
+	span := func() []byte {
+		s := e.Span(next)
+		next++
+		return s
+	}
+	ops = append(ops, store.Op{Space: space, Key: metaKey(in.ID), Value: span()})
+	bytes = len(e.Buf)
+	for _, ps := range ck.procs {
+		ops = append(ops, store.Op{Space: space, Key: procKey(in.ID, ps.hash), Value: []byte(ps.text)})
+		bytes += len(ps.text)
+	}
+	for i := range ck.creates {
+		ops = append(ops, store.Op{Space: space, Key: scopeCreateKey(in.ID, ck.creates[i].dto.ID), Value: span()})
+	}
+	for i := range ck.dyns {
+		ops = append(ops, store.Op{Space: space, Key: scopeDynKey(in.ID, ck.dyns[i].sc.ID), Value: span()})
+	}
+	for i := range ck.tasks {
+		ops = append(ops, store.Op{Space: space, Key: taskKey(in.ID, ck.tasks[i].sc.ID, ck.tasks[i].dto.Name), Value: span()})
+	}
+	return ops, bytes
+}
+
+// sortedJSONTasks returns the JSON-sourced task names of a recovered scope
+// in deterministic order, for conversion marking.
+func sortedJSONTasks(r *scopeRec) []string {
+	if len(r.jsonTasks) == 0 {
+		return nil
+	}
+	names := make([]string, 0, len(r.jsonTasks))
+	for name := range r.jsonTasks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"testing"
 
+	"bioopera/internal/codec"
 	"bioopera/internal/store"
 )
 
@@ -19,6 +20,19 @@ func FuzzDecodeInstanceRecords(f *testing.F) {
 	f.Add("task/p0001", []byte("{"), "scopec/", []byte("null"))
 	f.Add("task/p0001/A/B[1]/T", []byte(`{"name":"T"}`), "scoped/p0001/-", []byte("{torn"))
 	f.Add("", []byte(""), "proc//", []byte{0xff, 0xfe})
+	// Binary-format seeds: well-formed codec records under the right keys,
+	// plus misfiled kinds and torn binary.
+	e := codec.Get()
+	encodeCreate(e, &scopeCreateDTO{ID: "-", IsRoot: true, ProcText: "PROCESS P {}"})
+	encodeTask(e, &taskDTO{Name: "Add", Status: TaskReady})
+	encodeDyn(e, &scopeDynDTO{Full: true})
+	createBin := append([]byte(nil), e.Span(0)...)
+	taskBin := append([]byte(nil), e.Span(1)...)
+	dynBin := append([]byte(nil), e.Span(2)...)
+	codec.Put(e)
+	f.Add("scopec/p0001/-", createBin, "task/p0001/-/Add", taskBin)
+	f.Add("scoped/p0001/-", dynBin, "scopec/p0001/-", taskBin) // misfiled kind
+	f.Add("task/p0001/-/Add", taskBin[:len(taskBin)-2], "scoped/p0001/-", []byte{codec.Magic, 0xFF})
 	f.Fuzz(func(t *testing.T, k1 string, v1 []byte, k2 string, v2 []byte) {
 		kvs := []store.KV{{Key: k1, Value: v1}, {Key: k2, Value: v2}}
 		recMap, procs, err := decodeInstanceRecords(kvs)

@@ -429,10 +429,13 @@ func TestPersistHotPathAllocs(t *testing.T) {
 	}
 	run() // warm the pools
 	allocs := testing.AllocsPerRun(200, run)
-	// One task record: DTO snapshot, two json.Marshal calls (meta + task),
-	// mem-store value copies. ~15 in practice; 30 leaves headroom without
-	// hiding a regression to per-scope marshaling (hundreds).
-	if allocs > 30 {
-		t.Errorf("persist+flush of one dirty task = %.1f allocs, want <= 30", allocs)
+	t.Logf("persist+flush of one dirty task = %.1f allocs", allocs)
+	// One task record: DTO snapshot and mem-store value copies. Binary
+	// encoding itself is allocation-free (pooled encoder, see
+	// TestCodecEncodeAllocs), so the remaining cost is the snapshot and
+	// store copy; 20 leaves headroom without hiding a regression to
+	// per-record marshal allocations.
+	if allocs > 20 {
+		t.Errorf("persist+flush of one dirty task = %.1f allocs, want <= 20", allocs)
 	}
 }

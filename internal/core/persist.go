@@ -3,12 +3,12 @@ package core
 import (
 	"crypto/sha256"
 	"encoding/hex"
-	"encoding/json"
 	"fmt"
 	"sort"
 	"sync"
 	"time"
 
+	"bioopera/internal/codec"
 	"bioopera/internal/ocr"
 	"bioopera/internal/sim"
 	"bioopera/internal/store"
@@ -226,7 +226,8 @@ type ckpt struct {
 	tasks   []taskSnap
 	procs   []procSnap
 	deletes []string
-	ops     []store.Op // flusher scratch
+	ops     []store.Op    // flusher scratch
+	enc     codec.Encoder // flusher scratch: binary record buffer
 }
 
 type createSnap struct {
@@ -260,12 +261,15 @@ func putCkpt(ck *ckpt) {
 	clear(ck.tasks)
 	clear(ck.procs)
 	clear(ck.ops)
+	enc := ck.enc
+	enc.Reset()
 	*ck = ckpt{
 		creates: ck.creates[:0],
 		dyns:    ck.dyns[:0],
 		tasks:   ck.tasks[:0],
 		procs:   ck.procs[:0],
 		ops:     ck.ops[:0],
+		enc:     enc,
 	}
 	ckptPool.Put(ck)
 }
@@ -473,75 +477,20 @@ func (e *Engine) archive(in *Instance) {
 	in.pendingCkpts = append(in.pendingCkpts, ck)
 }
 
-// flushCkpt marshals one checkpoint and commits it to the store — after the
-// shard lock is released. The per-instance commit gate admits checkpoints
-// strictly in sequence order, so a later one can never overtake an earlier
-// one even when the instance's turns end on different goroutines; batches
-// of different instances still overlap and share group-committed fsyncs.
+// flushCkpt encodes one checkpoint through the binary codec and commits it
+// to the store — after the shard lock is released. The per-instance commit
+// gate admits checkpoints strictly in sequence order, so a later one can
+// never overtake an earlier one even when the instance's turns end on
+// different goroutines; batches of different instances still overlap and
+// share group-committed fsyncs. Binary encoding is total, so there is no
+// per-record marshal failure path — only the batch itself can fail.
 func (e *Engine) flushCkpt(in *Instance, ck *ckpt) {
 	start := e.now()
 	space := store.Instance
 	if ck.archive {
 		space = store.History
 	}
-	ops := ck.ops[:0]
-	bytes := 0
-	// remarks re-dirty snapshot items whose marshal failed; they run under
-	// the shard lock after the gate advances.
-	var remarks []func()
-
-	if data, err := json.Marshal(ck.meta); err != nil {
-		e.persistError(in, "marshal metadata", err)
-	} else {
-		ops = append(ops, store.Op{Space: space, Key: metaKey(in.ID), Value: data})
-		bytes += len(data)
-	}
-	for _, ps := range ck.procs {
-		ops = append(ops, store.Op{Space: space, Key: procKey(in.ID, ps.hash), Value: []byte(ps.text)})
-		bytes += len(ps.text)
-	}
-	for i := range ck.creates {
-		cs := &ck.creates[i]
-		data, err := json.Marshal(cs.dto)
-		if err != nil {
-			e.persistError(in, "marshal "+scopeCreateKey(in.ID, cs.dto.ID), err)
-			sc := cs.sc
-			remarks = append(remarks, func() { sc.newborn = true; in.markDirty(sc) })
-			continue
-		}
-		ops = append(ops, store.Op{Space: space, Key: scopeCreateKey(in.ID, cs.dto.ID), Value: data})
-		bytes += len(data)
-	}
-	for i := range ck.dyns {
-		ds := &ck.dyns[i]
-		data, err := json.Marshal(ds.dto)
-		if err != nil {
-			e.persistError(in, "marshal "+scopeDynKey(in.ID, ds.sc.ID), err)
-			sc := ds.sc
-			remarks = append(remarks, func() { sc.dirtyMeta = true; in.markDirty(sc) })
-			continue
-		}
-		ops = append(ops, store.Op{Space: space, Key: scopeDynKey(in.ID, ds.sc.ID), Value: data})
-		bytes += len(data)
-	}
-	for i := range ck.tasks {
-		snap := &ck.tasks[i]
-		data, err := json.Marshal(snap.dto)
-		if err != nil {
-			e.persistError(in, "marshal "+taskKey(in.ID, snap.sc.ID, snap.dto.Name), err)
-			sc, ts := snap.sc, snap.ts
-			remarks = append(remarks, func() {
-				if sc.dirtyTasks == nil {
-					sc.dirtyTasks = make(map[string]*taskState, 4)
-				}
-				sc.dirtyTasks[ts.Name] = ts
-				in.markDirty(sc)
-			})
-			continue
-		}
-		ops = append(ops, store.Op{Space: space, Key: taskKey(in.ID, snap.sc.ID, snap.dto.Name), Value: data})
-		bytes += len(data)
-	}
+	ops, bytes := encodeCkpt(in, ck, space)
 	records := len(ops)
 	if ck.archive {
 		// One pass: the history puts above reuse the marshaled bytes, and
@@ -599,23 +548,8 @@ func (e *Engine) flushCkpt(in *Instance, ck *ckpt) {
 	if err != nil {
 		e.persistError(in, "checkpoint batch", err)
 		e.remarkCkpt(in, ck)
-	} else if len(remarks) > 0 {
-		e.applyRemarks(in, remarks)
 	}
 	putCkpt(ck)
-}
-
-// applyRemarks re-dirties snapshot items under the shard lock so the next
-// checkpoint retries them. Runs only on (cold) failure paths, strictly
-// after the commit gate advanced — taking the shard here while Crash holds
-// every shard waiting on the gate would otherwise deadlock.
-func (e *Engine) applyRemarks(in *Instance, remarks []func()) {
-	mu := e.shardFor(in.ID)
-	mu.Lock()
-	for _, f := range remarks {
-		f()
-	}
-	mu.Unlock()
 }
 
 // remarkCkpt re-dirties everything a failed batch carried: scopes still

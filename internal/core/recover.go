@@ -34,13 +34,18 @@ import (
 
 // scopeRec collects one scope's persisted records during recovery: the
 // legacy whole-scope record (if any) is the base, overlaid by the delta
-// records.
+// records. The json* fields remember which delta records were found in the
+// legacy JSON encoding, so buildScopes can mark them for conversion — the
+// first post-recovery checkpoint rewrites them through the binary codec.
 type scopeRec struct {
-	scopeID string
-	legacy  *scopeDTO
-	create  *scopeCreateDTO
-	dyn     *scopeDynDTO
-	tasks   map[string]taskDTO
+	scopeID    string
+	legacy     *scopeDTO
+	create     *scopeCreateDTO
+	dyn        *scopeDynDTO
+	tasks      map[string]taskDTO
+	jsonCreate bool
+	jsonDyn    bool
+	jsonTasks  map[string]bool
 }
 
 // splitInstKey splits "<inst>/<rest>" (instance IDs contain no '/').
@@ -88,25 +93,29 @@ func decodeInstanceRecords(kvs []store.KV) (map[string]*scopeRec, map[string]str
 			}
 			rec(dto.ID).legacy = &dto
 		case strings.HasPrefix(kv.Key, "scopec/"):
-			var dto scopeCreateDTO
-			if err := json.Unmarshal(kv.Value, &dto); err != nil {
+			dto, wasJSON, err := decodeCreateRecord(kv.Value)
+			if err != nil {
 				return nil, nil, fmt.Errorf("core: corrupt scope-create record %s: %w", kv.Key, err)
 			}
-			rec(dto.ID).create = &dto
+			r := rec(dto.ID)
+			r.create = &dto
+			r.jsonCreate = wasJSON
 		case strings.HasPrefix(kv.Key, "scoped/"):
 			_, sub, ok := splitInstKey(strings.TrimPrefix(kv.Key, "scoped/"))
 			if !ok {
 				continue
 			}
-			var dto scopeDynDTO
-			if err := json.Unmarshal(kv.Value, &dto); err != nil {
+			dto, wasJSON, err := decodeDynRecord(kv.Value)
+			if err != nil {
 				return nil, nil, fmt.Errorf("core: corrupt scope-dynamic record %s: %w", kv.Key, err)
 			}
 			scopeID := sub
 			if scopeID == "-" {
 				scopeID = ""
 			}
-			rec(scopeID).dyn = &dto
+			r := rec(scopeID)
+			r.dyn = &dto
+			r.jsonDyn = wasJSON
 		case strings.HasPrefix(kv.Key, "task/"):
 			_, sub, ok := splitInstKey(strings.TrimPrefix(kv.Key, "task/"))
 			if !ok {
@@ -122,14 +131,21 @@ func decodeInstanceRecords(kvs []store.KV) (map[string]*scopeRec, map[string]str
 			if scopeID == "-" {
 				scopeID = ""
 			}
-			var dto taskDTO
-			if err := json.Unmarshal(kv.Value, &dto); err != nil {
+			dto, wasJSON, err := decodeTaskRecord(kv.Value)
+			if err != nil {
 				return nil, nil, fmt.Errorf("core: corrupt task record %s: %w", kv.Key, err)
 			}
 			if dto.Name == "" {
 				dto.Name = task
 			}
-			rec(scopeID).tasks[dto.Name] = dto
+			r := rec(scopeID)
+			r.tasks[dto.Name] = dto
+			if wasJSON {
+				if r.jsonTasks == nil {
+					r.jsonTasks = make(map[string]bool, 2)
+				}
+				r.jsonTasks[dto.Name] = true
+			}
 		case strings.HasPrefix(kv.Key, "proc/"):
 			_, hash, ok := splitInstKey(strings.TrimPrefix(kv.Key, "proc/"))
 			if !ok {
@@ -189,8 +205,8 @@ func (e *Engine) RecoverOwned(owns func(id string) bool) (int, error) {
 	for _, kv := range kvs {
 		if strings.HasPrefix(kv.Key, "inst/") {
 			id := strings.TrimPrefix(kv.Key, "inst/")
-			var dto instanceDTO
-			if err := json.Unmarshal(kv.Value, &dto); err != nil {
+			dto, _, err := decodeMetaRecord(kv.Value)
+			if err != nil {
 				errs = append(errs, fmt.Errorf("core: corrupt instance record %s: %w", kv.Key, err))
 				continue
 			}
@@ -531,6 +547,22 @@ func (e *Engine) buildScopes(in *Instance, recMap map[string]*scopeRec, procText
 				}
 			}
 			in.pendingDeletes = append(in.pendingDeletes, legacyScopeKey(in.ID, sc.ID))
+		} else {
+			// Delta records found in the legacy JSON encoding convert in
+			// place: mark exactly those records dirty so the first
+			// post-recovery checkpoint rewrites them through the binary
+			// codec. The interned process text is already in in.procRefs,
+			// so a re-marked create record never re-writes the text.
+			if r.jsonCreate {
+				e.touchNew(in, sc)
+			} else if r.jsonDyn {
+				e.touchMeta(in, sc)
+			}
+			for _, name := range sortedJSONTasks(r) {
+				if ts := sc.Tasks[name]; ts != nil {
+					e.touchTask(in, sc, ts)
+				}
+			}
 		}
 		in.scopes[sc.ID] = sc
 	}

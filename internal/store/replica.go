@@ -48,9 +48,11 @@ func (d *Disk) StartShipping(addr string, logf func(string, ...any)) (*wal.Shipp
 func (d *Disk) applyShipped(first uint64, records [][]byte) error {
 	recs := make([]walRecord, len(records))
 	for i, data := range records {
-		if err := json.Unmarshal(data, &recs[i]); err != nil {
+		rec, err := decodeWALRecord(data)
+		if err != nil {
 			return fmt.Errorf("store: decoding shipped record %d: %w", first+uint64(i), err)
 		}
+		recs[i] = rec
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()

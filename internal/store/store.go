@@ -31,6 +31,7 @@ import (
 	"sync"
 	"time"
 
+	"bioopera/internal/codec"
 	"bioopera/internal/obs"
 	"bioopera/internal/wal"
 )
@@ -292,12 +293,73 @@ func (m *Mem) Close() error {
 	return nil
 }
 
-// walRecord is the JSON frame appended to the WAL for each mutation.
+// walRecord is the frame appended to the WAL for each mutation. New
+// records are written through the binary codec; the JSON tags remain so
+// WALs written by earlier engine generations replay forever.
 type walRecord struct {
 	Op    string `json:"op"` // "put", "del", "event"
 	Space Space  `json:"sp,omitempty"`
 	Key   string `json:"k,omitempty"`
 	Value []byte `json:"v,omitempty"`
+}
+
+// Binary WAL record kinds — a range disjoint from the core persist-record
+// kinds, so a record misfiled across decode contexts fails loudly instead
+// of misparsing.
+const (
+	walKindPut   byte = 16
+	walKindDel   byte = 17
+	walKindEvent byte = 18
+)
+
+// encodeWALRecord appends one record to the encoder. Binary encoding is
+// total: unlike json.Marshal it cannot fail, which removes an error path
+// from every mutation.
+func encodeWALRecord(e *codec.Encoder, rec walRecord) {
+	var kind byte
+	switch rec.Op {
+	case "put":
+		kind = walKindPut
+	case "del":
+		kind = walKindDel
+	default:
+		kind = walKindEvent
+	}
+	e.Begin(kind)
+	e.Uvarint(uint64(rec.Space))
+	e.String(rec.Key)
+	e.Bytes(rec.Value)
+	e.End()
+}
+
+// decodeWALRecord reads a WAL frame of either format: binary records carry
+// the codec magic, legacy JSON records start with '{'. The decoded Value
+// aliases data — apply copies before retaining.
+func decodeWALRecord(data []byte) (walRecord, error) {
+	if !codec.Sniff(data) {
+		var rec walRecord
+		err := json.Unmarshal(data, &rec)
+		return rec, err
+	}
+	d, kind, err := codec.NewDecoder(data)
+	if err != nil {
+		return walRecord{}, err
+	}
+	var rec walRecord
+	switch kind {
+	case walKindPut:
+		rec.Op = "put"
+	case walKindDel:
+		rec.Op = "del"
+	case walKindEvent:
+		rec.Op = "event"
+	default:
+		return walRecord{}, fmt.Errorf("%w: kind %d is not a wal record", codec.ErrCorrupt, kind)
+	}
+	rec.Space = Space(d.Uvarint())
+	rec.Key = d.String()
+	rec.Value = d.Bytes()
+	return rec, d.Finish()
 }
 
 // snapshot is the JSON image written by Disk.Snapshot.
@@ -411,8 +473,8 @@ func OpenDisk(dir string, opts DiskOptions) (*Disk, error) {
 		return nil, err
 	}
 	err = l.Replay(from, func(r wal.Record) error {
-		var rec walRecord
-		if err := json.Unmarshal(r.Data, &rec); err != nil {
+		rec, err := decodeWALRecord(r.Data)
+		if err != nil {
 			return fmt.Errorf("store: decoding wal record %d: %w", r.Seq, err)
 		}
 		d.apply(rec)
@@ -521,11 +583,11 @@ func (d *Disk) apply(rec walRecord) {
 
 // append logs one mutation through the group-commit path.
 func (d *Disk) append(rec walRecord) error {
-	data, err := json.Marshal(rec)
-	if err != nil {
-		return fmt.Errorf("store: %w", err)
-	}
-	return d.commit(&commitReq{recs: []walRecord{rec}, encoded: [][]byte{data}})
+	enc := codec.Get()
+	encodeWALRecord(enc, rec)
+	err := d.commit(&commitReq{recs: []walRecord{rec}, encoded: [][]byte{enc.Span(0)}})
+	codec.Put(enc)
+	return err
 }
 
 // commit durably applies one request. The first caller to find no pending
@@ -605,20 +667,24 @@ func (d *Disk) Batch(ops []Op) error {
 	}
 	recs := make([]walRecord, len(ops))
 	encoded := make([][]byte, len(ops))
+	enc := codec.Get()
 	for i, op := range ops {
 		rec := walRecord{Op: "put", Space: op.Space, Key: op.Key, Value: op.Value}
 		if op.Delete {
 			rec.Op = "del"
 			rec.Value = nil
 		}
-		data, err := json.Marshal(rec)
-		if err != nil {
-			return fmt.Errorf("store: %w", err)
-		}
 		recs[i] = rec
-		encoded[i] = data
+		encodeWALRecord(enc, rec)
 	}
-	return d.commit(&commitReq{recs: recs, encoded: encoded})
+	// Spans are taken only after every record is encoded: appending can
+	// relocate the encoder's buffer.
+	for i := range encoded {
+		encoded[i] = enc.Span(i)
+	}
+	err := d.commit(&commitReq{recs: recs, encoded: encoded})
+	codec.Put(enc)
+	return err
 }
 
 // Get implements Store.
@@ -659,13 +725,13 @@ func (d *Disk) List(space Space) ([]KV, error) {
 // AppendEvent implements Store.
 func (d *Disk) AppendEvent(data []byte) (uint64, error) {
 	rec := walRecord{Op: "event", Value: data}
-	enc, err := json.Marshal(rec)
-	if err != nil {
-		return 0, fmt.Errorf("store: %w", err)
-	}
+	enc := codec.Get()
+	encodeWALRecord(enc, rec)
 	var seq uint64
-	req := &commitReq{recs: []walRecord{rec}, encoded: [][]byte{enc}, seq: &seq}
-	if err := d.commit(req); err != nil {
+	req := &commitReq{recs: []walRecord{rec}, encoded: [][]byte{enc.Span(0)}, seq: &seq}
+	err := d.commit(req)
+	codec.Put(enc)
+	if err != nil {
 		return 0, err
 	}
 	return seq, nil

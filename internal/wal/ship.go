@@ -31,6 +31,10 @@ import (
 	"sync"
 )
 
+// shipWriteBuf sizes the per-session buffered writers on both sides:
+// large enough that a replay round's frames coalesce into few writes.
+const shipWriteBuf = 64 << 10
+
 // shipMsg is every message of the shipping protocol; Type discriminates.
 type shipMsg struct {
 	Type string `json:"type"`
@@ -174,7 +178,20 @@ func (s *Shipper) serve(conn net.Conn) {
 		}
 	}()
 	dec := json.NewDecoder(bufio.NewReader(conn))
-	enc := json.NewEncoder(conn)
+	// One buffered writer and one encoder for the whole session: frames of
+	// a replay round coalesce into few syscalls instead of one unbuffered
+	// write per message, and nothing is re-allocated per send.
+	bw := bufio.NewWriterSize(conn, shipWriteBuf)
+	enc := json.NewEncoder(bw)
+	// send encodes one message and flushes — used for the one-off messages
+	// (snapshot, error) that must reach the follower before we block or
+	// return. Frames flush once per replay round instead.
+	send := func(m shipMsg) error {
+		if err := enc.Encode(m); err != nil {
+			return err
+		}
+		return bw.Flush()
+	}
 	var hello shipMsg
 	if err := dec.Decode(&hello); err != nil || hello.Type != "sync" {
 		s.logf("wal: ship %s: bad handshake: %v", conn.RemoteAddr(), err)
@@ -199,16 +216,16 @@ func (s *Shipper) serve(conn net.Conn) {
 		if oldest := s.log.OldestSeq(); cursor < oldest {
 			// The records the follower needs are gone — bootstrap it.
 			if s.opts.Snapshot == nil {
-				_ = enc.Encode(shipMsg{Type: "error", Err: fmt.Sprintf("records from %d truncated (oldest %d) and no snapshot source", cursor, oldest)})
+				_ = send(shipMsg{Type: "error", Err: fmt.Sprintf("records from %d truncated (oldest %d) and no snapshot source", cursor, oldest)})
 				return
 			}
 			seq, data, err := s.opts.Snapshot()
 			if err != nil {
 				s.logf("wal: ship %s: snapshot: %v", conn.RemoteAddr(), err)
-				_ = enc.Encode(shipMsg{Type: "error", Err: err.Error()})
+				_ = send(shipMsg{Type: "error", Err: err.Error()})
 				return
 			}
-			if err := enc.Encode(shipMsg{Type: "snapshot", Seq: seq, Data: data}); err != nil {
+			if err := send(shipMsg{Type: "snapshot", Seq: seq, Data: data}); err != nil {
 				return
 			}
 			cursor = seq
@@ -231,6 +248,12 @@ func (s *Shipper) serve(conn net.Conn) {
 			return nil
 		})
 		if err != nil && err != io.EOF {
+			s.logf("wal: ship %s: %v", conn.RemoteAddr(), err)
+			return
+		}
+		// Flush the round's frames before blocking on the next commit —
+		// the follower must not starve behind a half-full buffer.
+		if err := bw.Flush(); err != nil {
 			s.logf("wal: ship %s: %v", conn.RemoteAddr(), err)
 			return
 		}
@@ -281,13 +304,26 @@ type FollowerOptions struct {
 }
 
 // Follower is the standby side of log shipping: it dials a Shipper and
-// applies what arrives.
+// applies what arrives. Its write side (the sync handshake, and any future
+// follower→shipper message) goes through one session-lifetime buffered
+// writer and encoder instead of allocating a fresh encoder per message and
+// writing to the raw connection.
 type Follower struct {
 	conn net.Conn
+	bw   *bufio.Writer
+	enc  *json.Encoder
 	opts FollowerOptions
 
 	mu     sync.Mutex
 	closed bool
+}
+
+// send encodes one message to the shipper and flushes it out.
+func (f *Follower) send(m shipMsg) error {
+	if err := f.enc.Encode(m); err != nil {
+		return err
+	}
+	return f.bw.Flush()
 }
 
 // DialFollower connects to a Shipper at addr and requests the stream. Call
@@ -301,7 +337,9 @@ func DialFollower(addr string, opts FollowerOptions) (*Follower, error) {
 		return nil, fmt.Errorf("wal: follow dial: %w", err)
 	}
 	f := &Follower{conn: conn, opts: opts}
-	if err := json.NewEncoder(conn).Encode(shipMsg{Type: "sync", From: opts.From}); err != nil {
+	f.bw = bufio.NewWriterSize(conn, shipWriteBuf)
+	f.enc = json.NewEncoder(f.bw)
+	if err := f.send(shipMsg{Type: "sync", From: opts.From}); err != nil {
 		//bioopera:allow droppederr the handshake failure is returned; closing the dead connection is best-effort
 		conn.Close()
 		return nil, fmt.Errorf("wal: follow sync: %w", err)
